@@ -1,0 +1,389 @@
+// Benchmarks mirroring every table and figure of the paper's evaluation.
+// Each BenchmarkFigN / BenchmarkTableN exercises the same code paths as
+// the corresponding bwbench experiment, sized for `go test -bench`.
+// The full parameter sweeps live in cmd/bwbench.
+package repro
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/ycsb"
+)
+
+const benchKeys = 200_000
+
+// loadedTree builds a Bw-Tree preloaded with Rand-Int keys.
+func loadedTree(opts core.Options, kt ycsb.KeyType, n int) (*core.Tree, *ycsb.KeySet) {
+	t := core.New(opts)
+	ks := ycsb.NewKeySet(kt, n)
+	s := t.NewSession()
+	for _, k := range ks.Keys {
+		s.Insert(k, 1)
+	}
+	s.Release()
+	return t, ks
+}
+
+// loadedIndex preloads any index.Index.
+func loadedIndex(mk func() index.Index, kt ycsb.KeyType, n int) (index.Index, *ycsb.KeySet) {
+	idx := mk()
+	ks := ycsb.NewKeySet(kt, n)
+	s := idx.NewSession()
+	for _, k := range ks.Keys {
+		s.Insert(k, 1)
+	}
+	s.Release()
+	return idx, ks
+}
+
+func benchInsertOnly(b *testing.B, opts core.Options, kt ycsb.KeyType) {
+	b.ReportAllocs()
+	t := core.New(opts)
+	defer t.Close()
+	ks := ycsb.NewKeySet(kt, 0)
+	s := t.NewSession()
+	defer s.Release()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(ks.ExtraKey(), uint64(i))
+	}
+}
+
+func benchReadUpdate(b *testing.B, opts core.Options, kt ycsb.KeyType) {
+	b.ReportAllocs()
+	t, ks := loadedTree(opts, kt, benchKeys)
+	defer t.Close()
+	s := t.NewSession()
+	defer s.Release()
+	stream := ycsb.NewStream(ycsb.ReadUpdate, ks, 0, 42)
+	var out []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := stream.Next()
+		if op.Kind == ycsb.OpRead {
+			out = s.Lookup(op.Key, out[:0])
+		} else {
+			s.Update(op.Key, op.Value)
+		}
+	}
+}
+
+// BenchmarkFig8 measures delta-record pre-allocation on/off (§5.2).
+func BenchmarkFig8(b *testing.B) {
+	off := core.DefaultOptions()
+	off.Preallocate = false
+	on := core.DefaultOptions()
+	for _, kt := range []ycsb.KeyType{ycsb.MonoInt, ycsb.RandInt} {
+		b.Run(fmt.Sprintf("InsertOnly/%v/IndependentAlloc", kt), func(b *testing.B) { benchInsertOnly(b, off, kt) })
+		b.Run(fmt.Sprintf("InsertOnly/%v/PreAlloc", kt), func(b *testing.B) { benchInsertOnly(b, on, kt) })
+	}
+}
+
+// BenchmarkFig9 measures fast consolidation + search shortcuts (§5.3).
+func BenchmarkFig9(b *testing.B) {
+	off := core.DefaultOptions()
+	off.FastConsolidate = false
+	off.SearchShortcuts = false
+	on := core.DefaultOptions()
+	b.Run("ReadUpdate/RandInt/NoFCSS", func(b *testing.B) { benchReadUpdate(b, off, ycsb.RandInt) })
+	b.Run("ReadUpdate/RandInt/FCSS", func(b *testing.B) { benchReadUpdate(b, on, ycsb.RandInt) })
+}
+
+// BenchmarkFig10 measures the GC schemes under parallel Read/Update
+// (§5.4).
+func BenchmarkFig10(b *testing.B) {
+	for name, scheme := range map[string]core.GCScheme{
+		"CentralizedGC": core.GCCentralized,
+		"DistributedGC": core.GCDecentralized,
+	} {
+		b.Run(name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.GC = scheme
+			t, ks := loadedTree(opts, ycsb.MonoInt, benchKeys)
+			defer t.Close()
+			var worker atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1))
+				s := t.NewSession()
+				defer s.Release()
+				stream := ycsb.NewStream(ycsb.ReadUpdate, ks, w, uint64(w)*13)
+				var out []uint64
+				for pb.Next() {
+					op := stream.Next()
+					if op.Kind == ycsb.OpRead {
+						out = s.Lookup(op.Key, out[:0])
+					} else {
+						s.Update(op.Key, op.Value)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig11 sweeps delta-chain length x node size (§5.5).
+func BenchmarkFig11(b *testing.B) {
+	for _, ns := range []int{32, 128} {
+		for _, cl := range []int{8, 24, 40} {
+			opts := core.DefaultOptions()
+			opts.LeafNodeSize = ns
+			opts.LeafChainLength = cl
+			opts.LeafMergeSize = ns / 4
+			b.Run(fmt.Sprintf("node=%d/chain=%d", ns, cl), func(b *testing.B) {
+				benchInsertOnly(b, opts, ycsb.MonoInt)
+			})
+		}
+	}
+}
+
+// BenchmarkFig12a applies the optimizations one at a time (§5.6).
+func BenchmarkFig12a(b *testing.B) {
+	bw := core.BaselineOptions()
+	gc := bw
+	gc.GC = core.GCDecentralized
+	pa := gc
+	pa.Preallocate = true
+	pa.LeafChainLength = core.DefaultOptions().LeafChainLength
+	fc := pa
+	fc.FastConsolidate = true
+	fc.SearchShortcuts = true
+	nk := fc
+	nk.NonUnique = true
+	for _, v := range []struct {
+		name string
+		opts core.Options
+	}{{"BwTree", bw}, {"+GC", gc}, {"+PA", pa}, {"+FCSS", fc}, {"+NK", nk}} {
+		b.Run(v.name, func(b *testing.B) { benchReadUpdate(b, v.opts, ycsb.RandInt) })
+	}
+}
+
+// BenchmarkFig12b contrasts the baseline Bw-Tree and the OpenBw-Tree.
+func BenchmarkFig12b(b *testing.B) {
+	b.Run("BwTree/InsertOnly", func(b *testing.B) { benchInsertOnly(b, core.BaselineOptions(), ycsb.MonoInt) })
+	b.Run("OpenBwTree/InsertOnly", func(b *testing.B) { benchInsertOnly(b, core.DefaultOptions(), ycsb.MonoInt) })
+	b.Run("BwTree/ReadUpdate", func(b *testing.B) { benchReadUpdate(b, core.BaselineOptions(), ycsb.MonoInt) })
+	b.Run("OpenBwTree/ReadUpdate", func(b *testing.B) { benchReadUpdate(b, core.DefaultOptions(), ycsb.MonoInt) })
+}
+
+// benchIndexWorkload drives any index through one workload, single
+// goroutine (Fig. 13) — Fig. 14's parallel version is below.
+func benchIndexWorkload(b *testing.B, mk func() index.Index, wl ycsb.Workload, kt ycsb.KeyType) {
+	b.ReportAllocs()
+	idx, ks := loadedIndex(mk, kt, benchKeys)
+	defer idx.Close()
+	s := idx.NewSession()
+	defer s.Release()
+	stream := ycsb.NewStream(wl, ks, 0, 77)
+	var out []uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := stream.Next()
+		switch op.Kind {
+		case ycsb.OpRead:
+			out = s.Lookup(op.Key, out[:0])
+		case ycsb.OpUpdate:
+			s.Update(op.Key, op.Value)
+		case ycsb.OpInsert:
+			s.Insert(op.Key, op.Value)
+		case ycsb.OpScan:
+			s.Scan(op.Key, op.ScanLen, func(k []byte, v uint64) bool { return true })
+		}
+	}
+}
+
+// BenchmarkFig13 is the single-threaded six-index comparison (§6.1).
+func BenchmarkFig13(b *testing.B) {
+	for _, mk := range index.All() {
+		name := func() string { i := mk(); defer i.Close(); return i.Name() }()
+		for _, wl := range []ycsb.Workload{ycsb.ReadOnly, ycsb.ReadUpdate, ycsb.ScanInsert} {
+			b.Run(fmt.Sprintf("%s/%v/RandInt", name, wl), func(b *testing.B) {
+				benchIndexWorkload(b, mk, wl, ycsb.RandInt)
+			})
+		}
+	}
+}
+
+// BenchmarkFig14 is the multi-threaded comparison (§6.1): RunParallel
+// over all available cores.
+func BenchmarkFig14(b *testing.B) {
+	for _, mk := range index.All() {
+		name := func() string { i := mk(); defer i.Close(); return i.Name() }()
+		b.Run(fmt.Sprintf("%s/ReadUpdate/RandInt", name), func(b *testing.B) {
+			idx, ks := loadedIndex(mk, ycsb.RandInt, benchKeys)
+			defer idx.Close()
+			var worker atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1))
+				s := idx.NewSession()
+				defer s.Release()
+				stream := ycsb.NewStream(ycsb.ReadUpdate, ks, w, uint64(w)*29)
+				var out []uint64
+				for pb.Next() {
+					op := stream.Next()
+					if op.Kind == ycsb.OpRead {
+						out = s.Lookup(op.Key, out[:0])
+					} else {
+						s.Update(op.Key, op.Value)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig15 reports bytes-per-entry as allocation metrics (§6.1
+// memory usage; B/op during loading approximates the per-entry cost).
+func BenchmarkFig15(b *testing.B) {
+	for _, mk := range index.All() {
+		name := func() string { i := mk(); defer i.Close(); return i.Name() }()
+		b.Run(name+"/LoadRandInt", func(b *testing.B) {
+			b.ReportAllocs()
+			idx := mk()
+			defer idx.Close()
+			ks := ycsb.NewKeySet(ycsb.RandInt, 0)
+			s := idx.NewSession()
+			defer s.Release()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(ks.ExtraKey(), uint64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkTable3 measures Rand-Int Insert-only per-op cost for all six
+// indexes with allocation counters — the software proxies of Table 3.
+func BenchmarkTable3(b *testing.B) {
+	for _, mk := range index.All() {
+		name := func() string { i := mk(); defer i.Close(); return i.Name() }()
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			idx := mk()
+			defer idx.Close()
+			ks := ycsb.NewKeySet(ycsb.RandInt, 0)
+			s := idx.NewSession()
+			defer s.Release()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(ks.ExtraKey(), uint64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkFig16 is the high-contention Mono-HC insert storm (§6.2).
+func BenchmarkFig16(b *testing.B) {
+	for _, mk := range index.All() {
+		name := func() string { i := mk(); defer i.Close(); return i.Name() }()
+		b.Run(name+"/MonoHC", func(b *testing.B) {
+			idx := mk()
+			defer idx.Close()
+			ks := ycsb.NewKeySet(ycsb.MonoHC, 0)
+			var worker atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				w := int(worker.Add(1))
+				s := idx.NewSession()
+				defer s.Release()
+				for pb.Next() {
+					s.Insert(ks.HCKey(w), 1)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkFig17 contrasts Mono-Int and Mono-HC inserts for the
+// OpenBw-Tree (§6.2; the full six-index grid is `bwbench fig17`).
+func BenchmarkFig17(b *testing.B) {
+	b.Run("MonoInt", func(b *testing.B) { benchInsertOnly(b, core.DefaultOptions(), ycsb.MonoInt) })
+	b.Run("MonoHC", func(b *testing.B) {
+		t := core.New(core.DefaultOptions())
+		defer t.Close()
+		ks := ycsb.NewKeySet(ycsb.MonoHC, 0)
+		var worker atomic.Uint64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			w := int(worker.Add(1))
+			s := t.NewSession()
+			defer s.Release()
+			for pb.Next() {
+				s.Insert(ks.HCKey(w), 1)
+			}
+		})
+	})
+}
+
+// BenchmarkFig18 is the feature decomposition (§6.3).
+func BenchmarkFig18(b *testing.B) {
+	readOnly := func(b *testing.B, t *core.Tree, ks *ycsb.KeySet) {
+		s := t.NewSession()
+		defer s.Release()
+		zipf := ycsb.NewScrambledZipfian(uint64(len(ks.Keys)), 5)
+		var out []uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = s.Lookup(ks.Keys[zipf.Next()], out[:0])
+		}
+	}
+	b.Run("OpenBwTree/ReadOnly", func(b *testing.B) {
+		t, ks := loadedTree(core.DefaultOptions(), ycsb.RandInt, benchKeys)
+		defer t.Close()
+		readOnly(b, t, ks)
+	})
+	b.Run("NoDeltaChains/ReadOnly", func(b *testing.B) {
+		t, ks := loadedTree(core.DefaultOptions(), ycsb.RandInt, benchKeys)
+		defer t.Close()
+		t.ConsolidateAll()
+		readOnly(b, t, ks)
+	})
+	b.Run("NoCAS/InsertOnly", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.UnsafeNoCAS = true
+		benchInsertOnly(b, opts, ycsb.RandInt)
+	})
+	b.Run("NoMappingTable/ReadOnly", func(b *testing.B) {
+		t, ks := loadedTree(core.DefaultOptions(), ycsb.RandInt, benchKeys)
+		defer t.Close()
+		frozen := t.Freeze()
+		zipf := ycsb.NewScrambledZipfian(uint64(len(ks.Keys)), 5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frozen.Lookup(ks.Keys[zipf.Next()])
+		}
+	})
+	b.Run("NoDeltaUpdates/InsertOnly", func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.UnsafeNoCAS = true
+		opts.InPlaceLeafUpdates = true
+		benchInsertOnly(b, opts, ycsb.RandInt)
+	})
+	b.Run("BTreeOLC/InsertOnly", func(b *testing.B) {
+		b.ReportAllocs()
+		idx := index.NewBTree()
+		defer idx.Close()
+		ks := ycsb.NewKeySet(ycsb.RandInt, 0)
+		s := idx.NewSession()
+		defer s.Release()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Insert(ks.ExtraKey(), uint64(i))
+		}
+	})
+}
+
+// BenchmarkTable2 exercises the statistics collection used by Table 2.
+func BenchmarkTable2(b *testing.B) {
+	t, _ := loadedTree(core.DefaultOptions(), ycsb.RandInt, benchKeys)
+	defer t.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.StructureStats()
+	}
+}

@@ -1,0 +1,126 @@
+package bwtree_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/bwtree"
+)
+
+func key(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// TestPublicAPI exercises the whole exported surface the way the package
+// documentation advertises it.
+func TestPublicAPI(t *testing.T) {
+	tr := bwtree.New(bwtree.DefaultOptions())
+	defer tr.Close()
+
+	s := tr.NewSession()
+	defer s.Release()
+
+	for i := uint64(0); i < 10000; i++ {
+		if !s.Insert(key(i), i) {
+			t.Fatalf("insert %d", i)
+		}
+	}
+	if s.Insert(key(5), 99) {
+		t.Fatal("duplicate insert accepted")
+	}
+	if !s.Update(key(5), 55) {
+		t.Fatal("update failed")
+	}
+	if got := s.Lookup(key(5), nil); len(got) != 1 || got[0] != 55 {
+		t.Fatalf("lookup: %v", got)
+	}
+	if !s.Delete(key(5), 0) {
+		t.Fatal("delete failed")
+	}
+
+	count := 0
+	s.Scan(key(0), 100000, func(k []byte, v uint64) bool { count++; return true })
+	if count != 9999 {
+		t.Fatalf("scan count %d", count)
+	}
+
+	it := s.NewIterator()
+	it.Seek(key(100))
+	if !it.Valid() || binary.BigEndian.Uint64(it.Key()) != 100 {
+		t.Fatal("iterator seek")
+	}
+	it.Prev()
+	if binary.BigEndian.Uint64(it.Key()) != 99 {
+		t.Fatal("iterator prev")
+	}
+
+	if st := tr.Stats(); st.Ops == 0 {
+		t.Fatal("no ops recorded")
+	}
+	if st := tr.StructureStats(); st.LeafNodes == 0 {
+		t.Fatal("no structure stats")
+	}
+}
+
+func TestBaselineOptionsWork(t *testing.T) {
+	tr := bwtree.New(bwtree.BaselineOptions())
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+	for i := uint64(0); i < 5000; i++ {
+		s.Insert(key(i), i)
+	}
+	for i := uint64(0); i < 5000; i++ {
+		if got := s.Lookup(key(i), nil); len(got) != 1 || got[0] != i {
+			t.Fatalf("lookup %d: %v", i, got)
+		}
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	tr := bwtree.New(bwtree.DefaultOptions())
+	defer tr.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := tr.NewSession()
+			defer s.Release()
+			for i := 0; i < 5000; i++ {
+				k := []byte(fmt.Sprintf("w%d-%06d", w, i))
+				if !s.Insert(k, uint64(i)) {
+					t.Errorf("insert %s failed", k)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Count(); got != 8*5000 {
+		t.Fatalf("count %d", got)
+	}
+}
+
+// Example-style documentation test.
+func ExampleTree() {
+	t := bwtree.New(bwtree.DefaultOptions())
+	defer t.Close()
+
+	s := t.NewSession()
+	defer s.Release()
+
+	s.Insert([]byte("apple"), 120)
+	s.Insert([]byte("banana"), 45)
+	s.Scan([]byte("a"), 10, func(k []byte, v uint64) bool {
+		fmt.Printf("%s=%d\n", k, v)
+		return true
+	})
+	// Output:
+	// apple=120
+	// banana=45
+}

@@ -1,0 +1,160 @@
+// Command bwstress soaks the OpenBw-Tree under a concurrent mixed
+// workload with periodic invariant validation — the long-running
+// confidence test for the lock-free machinery:
+//
+//	bwstress -duration 60s -workers 8 -keyspace 100000
+//
+// Workers run a random insert/delete/update/lookup/scan mix over a shared
+// key space while tracking, per worker, a disjoint slice of keys whose
+// state they own exclusively and can therefore verify exactly. Between
+// rounds the tree's structural invariants are checked. Any inconsistency
+// aborts with a non-zero exit.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/bwtree"
+)
+
+func key64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+func main() {
+	duration := flag.Duration("duration", 30*time.Second, "soak duration")
+	workers := flag.Int("workers", 8, "worker goroutines")
+	keyspace := flag.Uint64("keyspace", 100000, "shared keys per worker slice")
+	leafSize := flag.Int("leaf", 32, "leaf node size (small sizes maximize SMO churn)")
+	flag.Parse()
+
+	opts := bwtree.DefaultOptions()
+	opts.LeafNodeSize = *leafSize
+	opts.InnerNodeSize = *leafSize / 2
+	opts.LeafChainLength = 8
+	opts.InnerChainLength = 2
+	opts.LeafMergeSize = *leafSize / 4
+	opts.InnerMergeSize = *leafSize / 8
+	t := bwtree.New(opts)
+	defer t.Close()
+
+	var stop atomic.Bool
+	var failed atomic.Bool
+	var ops atomic.Uint64
+	var wg sync.WaitGroup
+
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := t.NewSession()
+			defer s.Release()
+			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			// Each worker owns keys ≡ w (mod workers) and mirrors their
+			// exact state; other keys are churned blindly.
+			owned := map[uint64]uint64{}
+			base := uint64(w)
+			nw := uint64(*workers)
+			var out []uint64
+			for !stop.Load() {
+				k := base + uint64(rng.Intn(int(*keyspace)))*nw
+				ops.Add(1)
+				switch rng.Intn(6) {
+				case 0:
+					v := rng.Uint64()
+					if s.Insert(key64(k), v) {
+						if _, had := owned[k]; had {
+							log.Printf("worker %d: insert of present key %d succeeded", w, k)
+							failed.Store(true)
+							return
+						}
+						owned[k] = v
+					} else if _, had := owned[k]; !had {
+						log.Printf("worker %d: insert of absent key %d failed", w, k)
+						failed.Store(true)
+						return
+					}
+				case 1:
+					_, had := owned[k]
+					if s.Delete(key64(k), 0) != had {
+						log.Printf("worker %d: delete of key %d inconsistent (had=%v)", w, k, had)
+						failed.Store(true)
+						return
+					}
+					delete(owned, k)
+				case 2:
+					v := rng.Uint64()
+					_, had := owned[k]
+					if s.Update(key64(k), v) != had {
+						log.Printf("worker %d: update of key %d inconsistent (had=%v)", w, k, had)
+						failed.Store(true)
+						return
+					}
+					if had {
+						owned[k] = v
+					}
+				case 3, 4:
+					want, had := owned[k]
+					out = s.Lookup(key64(k), out[:0])
+					if had != (len(out) == 1) || had && out[0] != want {
+						log.Printf("worker %d: lookup %d got %v want %d,%v", w, k, out, want, had)
+						failed.Store(true)
+						return
+					}
+				default:
+					var prev uint64
+					first := true
+					s.Scan(key64(k), 32, func(kk []byte, v uint64) bool {
+						cur := binary.BigEndian.Uint64(kk)
+						if !first && cur <= prev {
+							log.Printf("worker %d: scan order violation %d after %d", w, cur, prev)
+							failed.Store(true)
+							return false
+						}
+						prev, first = cur, false
+						return true
+					})
+					if failed.Load() {
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for time.Since(start) < *duration && !failed.Load() {
+		<-ticker.C
+		st := t.Stats()
+		log.Printf("t=%v ops=%d (%.2f Mops/s) aborts=%d splits=%d merges=%d consolidations=%d",
+			time.Since(start).Round(time.Second), ops.Load(),
+			float64(ops.Load())/time.Since(start).Seconds()/1e6,
+			st.Aborts, st.Splits, st.Merges, st.Consolidations)
+	}
+	stop.Store(true)
+	wg.Wait()
+
+	if failed.Load() {
+		fmt.Println("FAILED: inconsistency detected")
+		os.Exit(1)
+	}
+	if err := t.Validate(); err != nil {
+		fmt.Printf("FAILED: final validation: %v\n", err)
+		os.Exit(1)
+	}
+	st := t.Stats()
+	fmt.Printf("PASS: %d ops, %d aborts (%.2f%%), %d splits, %d merges, final count %d\n",
+		ops.Load(), st.Aborts, st.AbortRate()*100, st.Splits, st.Merges, t.Count())
+}

@@ -1,0 +1,144 @@
+// Command bwtree-cli is an interactive shell over a single OpenBw-Tree,
+// useful for exploring the index's behaviour and internal statistics.
+//
+//	$ go run ./cmd/bwtree-cli
+//	bw> put apple 1
+//	OK
+//	bw> scan a 10
+//	apple = 1
+//	bw> stats
+//	...
+//
+// Commands: put/get/del/update/scan/rscan/count/stats/structure/dump/help/quit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/bwtree"
+)
+
+func main() {
+	opts := bwtree.DefaultOptions()
+	t := bwtree.New(opts)
+	defer t.Close()
+	s := t.NewSession()
+	defer s.Release()
+
+	fmt.Println("OpenBw-Tree shell — 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("bw> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" && !dispatch(t, s, line) {
+			return
+		}
+		fmt.Print("bw> ")
+	}
+}
+
+func dispatch(t *bwtree.Tree, s *bwtree.Session, line string) bool {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "quit", "exit":
+		return false
+	case "help":
+		fmt.Print(`commands:
+  put <key> <uint64>      insert a pair (fails on duplicate key)
+  get <key>               look a key up
+  update <key> <uint64>   replace a key's value
+  del <key>               delete a key
+  scan <start> <n>        visit n pairs in ascending order from start
+  rscan <start> <n>       visit n pairs in descending order from start
+  count                   number of live pairs
+  stats                   operation counters
+  structure               node-shape statistics (Table 2 quantities)
+  dump                    render the tree (small trees only!)
+  quit
+`)
+	case "put", "update", "insert":
+		if len(args) != 2 {
+			fmt.Println("usage:", cmd, "<key> <value>")
+			break
+		}
+		v, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Println("bad value:", err)
+			break
+		}
+		var ok bool
+		if cmd == "update" {
+			ok = s.Update([]byte(args[0]), v)
+		} else {
+			ok = s.Insert([]byte(args[0]), v)
+		}
+		if ok {
+			fmt.Println("OK")
+		} else {
+			fmt.Println("FAILED (duplicate or missing key)")
+		}
+	case "get":
+		if len(args) != 1 {
+			fmt.Println("usage: get <key>")
+			break
+		}
+		vals := s.Lookup([]byte(args[0]), nil)
+		if len(vals) == 0 {
+			fmt.Println("(not found)")
+		}
+		for _, v := range vals {
+			fmt.Println(v)
+		}
+	case "del", "delete":
+		if len(args) != 1 {
+			fmt.Println("usage: del <key>")
+			break
+		}
+		if s.Delete([]byte(args[0]), 0) {
+			fmt.Println("OK")
+		} else {
+			fmt.Println("(not found)")
+		}
+	case "scan", "rscan":
+		if len(args) != 2 {
+			fmt.Println("usage:", cmd, "<start> <n>")
+			break
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			fmt.Println("bad count:", err)
+			break
+		}
+		visit := func(k []byte, v uint64) bool {
+			fmt.Printf("%s = %d\n", k, v)
+			return true
+		}
+		if cmd == "scan" {
+			s.Scan([]byte(args[0]), n, visit)
+		} else {
+			s.ScanReverse([]byte(args[0]), n, visit)
+		}
+	case "count":
+		fmt.Println(t.Count())
+	case "stats":
+		st := t.Stats()
+		fmt.Printf("ops=%d aborts=%d (%.2f%%) consolidations=%d splits=%d merges=%d casFailures=%d\n",
+			st.Ops, st.Aborts, st.AbortRate()*100, st.Consolidations, st.Splits, st.Merges, st.CASFailures)
+		fmt.Printf("gc: retired=%d reclaimed=%d advances=%d\n", st.GC.Retired, st.GC.Reclaimed, st.GC.Advances)
+	case "structure":
+		st := t.StructureStats()
+		fmt.Printf("height=%d innerNodes=%d leafNodes=%d\n", st.Height, st.InnerNodes, st.LeafNodes)
+		fmt.Printf("avg inner chain=%.2f leaf chain=%.2f inner size=%.1f leaf size=%.1f\n",
+			st.AvgInnerChainLen, st.AvgLeafChainLen, st.AvgInnerNodeSize, st.AvgLeafNodeSize)
+	case "dump":
+		fmt.Print(t.Dump())
+	default:
+		fmt.Printf("unknown command %q ('help' lists commands)\n", cmd)
+	}
+	return true
+}

@@ -1,0 +1,65 @@
+// Command ycsbgen writes a YCSB operation trace to stdout, one operation
+// per line, for feeding external systems or inspecting the generator:
+//
+//	ycsbgen -workload a -keys rand -n 100000 -population 1000000
+//
+// Line formats:
+//
+//	INSERT <hexkey> <value>
+//	READ   <hexkey>
+//	UPDATE <hexkey> <value>
+//	SCAN   <hexkey> <len>
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ycsb"
+)
+
+func main() {
+	workload := flag.String("workload", "a", "workload: insert, a, c, e")
+	keyType := flag.String("keys", "rand", "key type: mono, rand, email, hc")
+	n := flag.Int("n", 100000, "operations to emit")
+	population := flag.Int("population", 1000000, "loaded key population backing the workload")
+	seed := flag.Uint64("seed", 2018, "generator seed")
+	flag.Parse()
+
+	wl, err := ycsb.ParseWorkload(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbgen:", err)
+		os.Exit(2)
+	}
+	kt, err := ycsb.ParseKeyType(*keyType)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbgen:", err)
+		os.Exit(2)
+	}
+
+	pop := *population
+	if wl == ycsb.InsertOnly {
+		pop = *n
+	}
+	ks := ycsb.NewKeySet(kt, pop)
+	stream := ycsb.NewStream(wl, ks, 0, *seed)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i := 0; i < *n; i++ {
+		op := stream.Next()
+		switch op.Kind {
+		case ycsb.OpInsert:
+			fmt.Fprintf(w, "INSERT %s %d\n", hex.EncodeToString(op.Key), op.Value)
+		case ycsb.OpRead:
+			fmt.Fprintf(w, "READ %s\n", hex.EncodeToString(op.Key))
+		case ycsb.OpUpdate:
+			fmt.Fprintf(w, "UPDATE %s %d\n", hex.EncodeToString(op.Key), op.Value)
+		case ycsb.OpScan:
+			fmt.Fprintf(w, "SCAN %s %d\n", hex.EncodeToString(op.Key), op.ScanLen)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command ycsbreplay replays a trace produced by ycsbgen against one of
+// the six indexes and reports throughput:
+//
+//	ycsbgen -workload a -n 1000000 | ycsbreplay -index openbw -threads 4
+//
+// Lines are distributed round-robin across worker goroutines; see
+// ycsbgen's documentation for the trace format.
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+)
+
+func indexByName(name string) (index.Index, error) {
+	switch strings.ToLower(name) {
+	case "bw", "bwtree":
+		return index.NewBaselineBwTree(), nil
+	case "openbw", "openbwtree":
+		return index.NewOpenBwTree(), nil
+	case "skiplist":
+		return index.NewSkipList(), nil
+	case "masstree":
+		return index.NewMasstree(), nil
+	case "btree", "b+tree":
+		return index.NewBTree(), nil
+	case "art":
+		return index.NewART(), nil
+	}
+	return nil, fmt.Errorf("unknown index %q (bw, openbw, skiplist, masstree, btree, art)", name)
+}
+
+type op struct {
+	kind  byte // 'I', 'R', 'U', 'S'
+	key   []byte
+	value uint64
+	n     int
+}
+
+func main() {
+	idxName := flag.String("index", "openbw", "index to replay against")
+	threads := flag.Int("threads", 1, "worker goroutines")
+	flag.Parse()
+
+	idx, err := indexByName(*idxName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbreplay:", err)
+		os.Exit(2)
+	}
+	defer idx.Close()
+
+	ops, err := parseTrace(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ycsbreplay:", err)
+		os.Exit(1)
+	}
+	if len(ops) == 0 {
+		fmt.Fprintln(os.Stderr, "ycsbreplay: empty trace")
+		os.Exit(1)
+	}
+
+	nw := *threads
+	if nw < 1 {
+		nw = 1
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := idx.NewSession()
+			defer s.Release()
+			var out []uint64
+			for i := w; i < len(ops); i += nw {
+				o := ops[i]
+				switch o.kind {
+				case 'I':
+					s.Insert(o.key, o.value)
+				case 'R':
+					out = s.Lookup(o.key, out[:0])
+				case 'U':
+					s.Update(o.key, o.value)
+				case 'S':
+					s.Scan(o.key, o.n, func(k []byte, v uint64) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	fmt.Printf("%s: %d ops in %v (%.3f Mops/s, %d threads)\n",
+		idx.Name(), len(ops), dur.Round(time.Millisecond),
+		float64(len(ops))/dur.Seconds()/1e6, nw)
+}
+
+func parseTrace(f *os.File) ([]op, error) {
+	var ops []op
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 {
+			continue
+		}
+		key, err := hex.DecodeString(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad key: %v", line, err)
+		}
+		o := op{key: key}
+		switch fields[0] {
+		case "INSERT", "UPDATE":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: arity", line)
+			}
+			v, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad value: %v", line, err)
+			}
+			o.value = v
+			o.kind = fields[0][0]
+		case "READ":
+			o.kind = 'R'
+		case "SCAN":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: arity", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad scan length: %v", line, err)
+			}
+			o.n = n
+			o.kind = 'S'
+		default:
+			return nil, fmt.Errorf("line %d: unknown op %q", line, fields[0])
+		}
+		ops = append(ops, o)
+	}
+	return ops, sc.Err()
+}

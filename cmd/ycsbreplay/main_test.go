@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestIndexByName(t *testing.T) {
+	for _, name := range []string{"bw", "openbw", "skiplist", "masstree", "btree", "art", "OpenBW"} {
+		idx, err := indexByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		idx.Close()
+	}
+	if _, err := indexByName("nope"); err == nil {
+		t.Fatal("bogus index accepted")
+	}
+}
+
+func writeTrace(t *testing.T, content string) *os.File {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestParseTrace(t *testing.T) {
+	f := writeTrace(t, `INSERT 00000000000000ff 7
+READ 00000000000000ff
+UPDATE 00000000000000ff 9
+SCAN 0000000000000001 48
+`)
+	ops, err := parseTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 4 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	if ops[0].kind != 'I' || ops[0].value != 7 || len(ops[0].key) != 8 {
+		t.Fatalf("insert op %+v", ops[0])
+	}
+	if ops[1].kind != 'R' {
+		t.Fatalf("read op %+v", ops[1])
+	}
+	if ops[2].kind != 'U' || ops[2].value != 9 {
+		t.Fatalf("update op %+v", ops[2])
+	}
+	if ops[3].kind != 'S' || ops[3].n != 48 {
+		t.Fatalf("scan op %+v", ops[3])
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"INSERT zz 7\n",      // bad hex
+		"INSERT 00\n",        // arity
+		"SCAN 00 many\n",     // bad length
+		"FROB 00 1\n",        // unknown op
+		"UPDATE 00 notnum\n", // bad value
+	} {
+		f := writeTrace(t, bad)
+		if _, err := parseTrace(f); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+// TestReplayEndToEnd parses a trace and drives it through an index the
+// way main does.
+func TestReplayEndToEnd(t *testing.T) {
+	f := writeTrace(t, `INSERT 0000000000000001 10
+INSERT 0000000000000002 20
+READ 0000000000000001
+UPDATE 0000000000000002 22
+SCAN 0000000000000001 10
+`)
+	ops, err := parseTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := indexByName("btree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	s := idx.NewSession()
+	defer s.Release()
+	for _, o := range ops {
+		switch o.kind {
+		case 'I':
+			if !s.Insert(o.key, o.value) {
+				t.Fatalf("insert failed")
+			}
+		case 'R':
+			if got := s.Lookup(o.key, nil); len(got) != 1 || got[0] != 10 {
+				t.Fatalf("read got %v", got)
+			}
+		case 'U':
+			if !s.Update(o.key, o.value) {
+				t.Fatal("update failed")
+			}
+		case 'S':
+			if n := s.Scan(o.key, o.n, func(k []byte, v uint64) bool { return true }); n != 2 {
+				t.Fatalf("scan visited %d", n)
+			}
+		}
+	}
+}

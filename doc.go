@@ -1,0 +1,8 @@
+// Package repro is a from-scratch Go reproduction of "Building a Bw-Tree
+// Takes More Than Just Buzz Words" (Wang et al., SIGMOD 2018).
+//
+// The public index API lives in repro/bwtree; the benchmark harness that
+// regenerates the paper's tables and figures is the bwbench command (run
+// "go run ./cmd/bwbench list"). See README.md, DESIGN.md and
+// EXPERIMENTS.md for the full map.
+package repro

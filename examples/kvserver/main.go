@@ -1,0 +1,186 @@
+// kvserver: a concurrent TCP key-value store backed by the OpenBw-Tree —
+// the "index inside a DBMS with a worker pool" deployment the paper
+// assumes (§2). Every connection gets its own tree Session, mirroring a
+// DBMS worker thread.
+//
+// Run the server (it serves one demo round against itself with -demo):
+//
+//	go run ./examples/kvserver -addr :7070 &
+//	printf 'SET k 42\r\nGET k\r\nSCAN a 10\r\n' | nc localhost 7070
+//
+// Protocol (line-oriented):
+//
+//	SET <key> <uint64>     -> OK | ERR duplicate
+//	GET <key>              -> VAL <v> | NIL
+//	UPD <key> <uint64>     -> OK | NIL
+//	DEL <key>              -> OK | NIL
+//	SCAN <start> <n>       -> ITEM <key> <v> ... END
+//	STATS                  -> STATS ops=<n> aborts=<n> splits=<n>
+//	QUIT
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/bwtree"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	demo := flag.Bool("demo", false, "run a self-contained demo round and exit")
+	flag.Parse()
+
+	t := bwtree.New(bwtree.DefaultOptions())
+	defer t.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	log.Printf("kvserver listening on %s", ln.Addr())
+
+	if *demo {
+		go runDemo(ln.Addr().String())
+	}
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go serve(t, conn, *demo, ln)
+	}
+}
+
+// serve handles one connection with its own tree session.
+func serve(t *bwtree.Tree, conn net.Conn, demo bool, ln net.Listener) {
+	defer conn.Close()
+	s := t.NewSession()
+	defer s.Release()
+
+	r := bufio.NewScanner(conn)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "SET":
+			if bad(w, len(fields) != 3) {
+				break
+			}
+			v, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\r\n", err)
+				break
+			}
+			if s.Insert([]byte(fields[1]), v) {
+				fmt.Fprint(w, "OK\r\n")
+			} else {
+				fmt.Fprint(w, "ERR duplicate\r\n")
+			}
+		case "GET":
+			if bad(w, len(fields) != 2) {
+				break
+			}
+			if vals := s.Lookup([]byte(fields[1]), nil); len(vals) > 0 {
+				fmt.Fprintf(w, "VAL %d\r\n", vals[0])
+			} else {
+				fmt.Fprint(w, "NIL\r\n")
+			}
+		case "UPD":
+			if bad(w, len(fields) != 3) {
+				break
+			}
+			v, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\r\n", err)
+				break
+			}
+			if s.Update([]byte(fields[1]), v) {
+				fmt.Fprint(w, "OK\r\n")
+			} else {
+				fmt.Fprint(w, "NIL\r\n")
+			}
+		case "DEL":
+			if bad(w, len(fields) != 2) {
+				break
+			}
+			if s.Delete([]byte(fields[1]), 0) {
+				fmt.Fprint(w, "OK\r\n")
+			} else {
+				fmt.Fprint(w, "NIL\r\n")
+			}
+		case "SCAN":
+			if bad(w, len(fields) != 3) {
+				break
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\r\n", err)
+				break
+			}
+			s.Scan([]byte(fields[1]), n, func(k []byte, v uint64) bool {
+				fmt.Fprintf(w, "ITEM %s %d\r\n", k, v)
+				return true
+			})
+			fmt.Fprint(w, "END\r\n")
+		case "STATS":
+			st := t.Stats()
+			fmt.Fprintf(w, "STATS ops=%d aborts=%d splits=%d\r\n", st.Ops, st.Aborts, st.Splits)
+		case "QUIT":
+			fmt.Fprint(w, "BYE\r\n")
+			w.Flush()
+			if demo {
+				ln.Close() // demo mode: one round, then shut down
+			}
+			return
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\r\n", fields[0])
+		}
+		w.Flush()
+	}
+}
+
+func bad(w *bufio.Writer, cond bool) bool {
+	if cond {
+		fmt.Fprint(w, "ERR arity\r\n")
+	}
+	return cond
+}
+
+// runDemo exercises the server once over a real socket.
+func runDemo(addr string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	send := bufio.NewWriter(conn)
+	recv := bufio.NewScanner(conn)
+	for _, cmd := range []string{
+		"SET apple 1", "SET banana 2", "SET cherry 3",
+		"GET banana", "UPD banana 20", "GET banana",
+		"SCAN a 10", "DEL apple", "GET apple", "STATS", "QUIT",
+	} {
+		fmt.Fprintf(send, "%s\r\n", cmd)
+		send.Flush()
+		for recv.Scan() {
+			line := recv.Text()
+			fmt.Printf("%-16s -> %s\n", cmd, line)
+			if !strings.HasPrefix(line, "ITEM") {
+				break
+			}
+			cmd = ""
+		}
+	}
+}

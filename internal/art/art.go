@@ -1,0 +1,290 @@
+// Package art implements the Adaptive Radix Tree (Leis et al., ICDE 2013)
+// with optimistic lock coupling (Leis et al., DaMoN 2016) — the fastest
+// competitor index in the paper's evaluation (§6).
+//
+// Inner nodes adapt among four layouts (Node4, Node16, Node48, Node256)
+// based on fanout, store compressed key prefixes, and keep one optional
+// "terminator" child for keys that end exactly at the node. Leaves store
+// the full key, so mismatches detected low in the tree are verified
+// against complete information (pessimistic path compression is not
+// needed).
+//
+// Node contents are immutable snapshots swapped atomically under the
+// node's version lock; readers validate versions hand-over-hand and never
+// write shared memory.
+package art
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"repro/internal/olc"
+)
+
+// Tree is a concurrent adaptive radix tree. Create with New.
+type Tree struct {
+	rootLock olc.Lock
+	root     atomic.Pointer[node]
+}
+
+// node is a stable identity whose content is swapped on modification.
+type node struct {
+	lock    olc.Lock
+	content atomic.Pointer[content]
+}
+
+// Node kinds, adapted by fanout exactly as in the ART paper.
+const (
+	kind4   = 4
+	kind16  = 16
+	kind48  = 48
+	kind256 = 256
+)
+
+// content is an immutable node snapshot: either a leaf (full key + value)
+// or an inner node (prefix, sorted/indexed children, optional terminator
+// child for keys ending at this depth).
+type content struct {
+	leaf bool
+
+	// Leaf payload.
+	key []byte
+	val uint64
+
+	// Inner payload.
+	prefix []byte
+	kind   int
+	// Node4/Node16: parallel sorted arrays.
+	bytes []byte
+	kids  []*node
+	// Node48: byte -> kids index (+1; 0 = none).
+	idx *[256]uint8
+	// Node256: direct children.
+	direct *[256]*node
+	// term holds the child for a key that ends exactly after prefix.
+	term *node
+	// count of non-terminator children.
+	count int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{} }
+
+func newLeaf(key []byte, val uint64) *node {
+	n := &node{}
+	n.content.Store(&content{leaf: true, key: append([]byte(nil), key...), val: val})
+	return n
+}
+
+// child returns the child for byte b, or nil.
+func (c *content) child(b byte) *node {
+	switch c.kind {
+	case kind4, kind16:
+		for i, cb := range c.bytes {
+			if cb == b {
+				return c.kids[i]
+			}
+			if cb > b {
+				return nil
+			}
+		}
+		return nil
+	case kind48:
+		if i := c.idx[b]; i != 0 {
+			return c.kids[i-1]
+		}
+		return nil
+	default:
+		return c.direct[b]
+	}
+}
+
+// withChild returns a copy of c with the child for byte b set (grows the
+// node kind when full).
+func (c *content) withChild(b byte, child *node) *content {
+	nc := *c
+	switch c.kind {
+	case kind4, kind16:
+		pos := 0
+		for pos < len(c.bytes) && c.bytes[pos] < b {
+			pos++
+		}
+		if pos < len(c.bytes) && c.bytes[pos] == b {
+			nc.kids = append(append(append(make([]*node, 0, len(c.kids)), c.kids[:pos]...), child), c.kids[pos+1:]...)
+			nc.bytes = c.bytes
+			return &nc
+		}
+		if len(c.bytes) < c.kind {
+			nc.bytes = append(append(append(make([]byte, 0, len(c.bytes)+1), c.bytes[:pos]...), b), c.bytes[pos:]...)
+			nc.kids = append(append(append(make([]*node, 0, len(c.kids)+1), c.kids[:pos]...), child), c.kids[pos:]...)
+			nc.count = c.count + 1
+			return &nc
+		}
+		// Grow: Node4 -> Node16 -> Node48.
+		if c.kind == kind4 {
+			nc.kind = kind16
+		} else {
+			nc.kind = kind48
+			var idx [256]uint8
+			kids := make([]*node, 0, kind48)
+			for i, cb := range c.bytes {
+				kids = append(kids, c.kids[i])
+				idx[cb] = uint8(len(kids))
+			}
+			kids = append(kids, child)
+			idx[b] = uint8(len(kids))
+			nc.bytes, nc.kids, nc.idx = nil, kids, &idx
+			nc.count = c.count + 1
+			return &nc
+		}
+		return (&nc).insertSorted(c, b, child)
+	case kind48:
+		if i := c.idx[b]; i != 0 {
+			kids := append(make([]*node, 0, len(c.kids)), c.kids...)
+			kids[i-1] = child
+			nc.kids = kids
+			return &nc
+		}
+		if c.count < kind48 {
+			idx := *c.idx
+			nc.kids = append(append(make([]*node, 0, len(c.kids)+1), c.kids...), child)
+			idx[b] = uint8(len(nc.kids))
+			nc.idx = &idx
+			nc.count = c.count + 1
+			return &nc
+		}
+		// Grow to Node256.
+		var direct [256]*node
+		for bb := 0; bb < 256; bb++ {
+			if i := c.idx[bb]; i != 0 {
+				direct[bb] = c.kids[i-1]
+			}
+		}
+		direct[b] = child
+		nc.kind = kind256
+		nc.bytes, nc.kids, nc.idx = nil, nil, nil
+		nc.direct = &direct
+		nc.count = c.count + 1
+		return &nc
+	default:
+		direct := *c.direct
+		had := direct[b] != nil
+		direct[b] = child
+		nc.direct = &direct
+		if !had {
+			nc.count = c.count + 1
+		}
+		return &nc
+	}
+}
+
+// insertSorted finishes a Node4 -> Node16 grow.
+func (nc *content) insertSorted(c *content, b byte, child *node) *content {
+	pos := 0
+	for pos < len(c.bytes) && c.bytes[pos] < b {
+		pos++
+	}
+	nc.bytes = append(append(append(make([]byte, 0, len(c.bytes)+1), c.bytes[:pos]...), b), c.bytes[pos:]...)
+	nc.kids = append(append(append(make([]*node, 0, len(c.kids)+1), c.kids[:pos]...), child), c.kids[pos:]...)
+	nc.count = c.count + 1
+	return nc
+}
+
+// withoutChild returns a copy of c with byte b's child removed (kind
+// shrinking is not performed; see DESIGN.md).
+func (c *content) withoutChild(b byte) *content {
+	nc := *c
+	switch c.kind {
+	case kind4, kind16:
+		for i, cb := range c.bytes {
+			if cb == b {
+				nc.bytes = append(append(make([]byte, 0, len(c.bytes)-1), c.bytes[:i]...), c.bytes[i+1:]...)
+				nc.kids = append(append(make([]*node, 0, len(c.kids)-1), c.kids[:i]...), c.kids[i+1:]...)
+				nc.count = c.count - 1
+				return &nc
+			}
+		}
+		return &nc
+	case kind48:
+		if i := c.idx[b]; i != 0 {
+			idx := *c.idx
+			kids := append(make([]*node, 0, len(c.kids)), c.kids...)
+			kids[i-1] = nil
+			idx[b] = 0
+			nc.idx, nc.kids = &idx, kids
+			nc.count = c.count - 1
+		}
+		return &nc
+	default:
+		direct := *c.direct
+		if direct[b] != nil {
+			direct[b] = nil
+			nc.count = c.count - 1
+		}
+		nc.direct = &direct
+		return &nc
+	}
+}
+
+// Lookup returns the value stored under key.
+func (t *Tree) Lookup(key []byte) (uint64, bool) {
+restart:
+	n := t.root.Load()
+	if n == nil {
+		return 0, false
+	}
+	depth := 0
+	var parentLock *olc.Lock
+	var parentV uint64
+	for {
+		v, ok := n.lock.ReadLock()
+		if !ok {
+			goto restart
+		}
+		if parentLock != nil && !parentLock.Check(parentV) {
+			goto restart
+		}
+		c := n.content.Load()
+		if !n.lock.Check(v) {
+			goto restart
+		}
+		if c.leaf {
+			if !bytes.Equal(c.key, key) {
+				return 0, false
+			}
+			return c.val, true
+		}
+		if !hasPrefix(key[depth:], c.prefix) {
+			return 0, false
+		}
+		depth += len(c.prefix)
+		var child *node
+		if depth == len(key) {
+			child = c.term
+		} else {
+			child = c.child(key[depth])
+			depth++
+		}
+		if child == nil {
+			if !n.lock.ReadUnlock(v) {
+				goto restart
+			}
+			return 0, false
+		}
+		parentLock, parentV = &n.lock, v
+		n = child
+	}
+}
+
+func hasPrefix(k, prefix []byte) bool {
+	return len(k) >= len(prefix) && bytes.Equal(k[:len(prefix)], prefix)
+}
+
+func commonPrefix(a, b []byte) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}

@@ -1,0 +1,152 @@
+package art
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDeleteFromLargeNodes drives one byte position through every node
+// kind and then deletes back down, exercising withoutChild on Node48 and
+// Node256 (kinds never shrink, but removal must work at every size).
+func TestDeleteFromLargeNodes(t *testing.T) {
+	tr := New()
+	keys := make([][]byte, 0, 256)
+	for b := 0; b < 256; b++ {
+		k := []byte{1, byte(b), 2}
+		keys = append(keys, k)
+		if !tr.Insert(k, uint64(b)) {
+			t.Fatalf("insert %v failed", k)
+		}
+	}
+	// Delete every other key; the rest must stay reachable.
+	for b := 0; b < 256; b += 2 {
+		if !tr.Delete(keys[b]) {
+			t.Fatalf("delete %v failed", keys[b])
+		}
+	}
+	for b := 0; b < 256; b++ {
+		v, ok := tr.Lookup(keys[b])
+		if b%2 == 0 {
+			if ok {
+				t.Fatalf("deleted %v visible", keys[b])
+			}
+		} else if !ok || v != uint64(b) {
+			t.Fatalf("lookup %v: %d %v", keys[b], v, ok)
+		}
+	}
+	// Scans agree.
+	count := 0
+	tr.Scan([]byte{0}, 300, func(k []byte, v uint64) bool { count++; return true })
+	if count != 128 {
+		t.Fatalf("scan count %d", count)
+	}
+	// Double delete fails.
+	if tr.Delete(keys[0]) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+// TestTermSlotUnderChurn exercises the terminator slot (keys ending
+// exactly at an inner node) amid sibling inserts and deletes.
+func TestTermSlotUnderChurn(t *testing.T) {
+	tr := New()
+	prefix := []byte("prefix")
+	tr.Insert(prefix, 1) // will occupy a term slot after forking
+	for i := 0; i < 50; i++ {
+		k := append(append([]byte{}, prefix...), byte(i), byte(i))
+		tr.Insert(k, uint64(100+i))
+	}
+	if v, ok := tr.Lookup(prefix); !ok || v != 1 {
+		t.Fatalf("term key: %d %v", v, ok)
+	}
+	if !tr.Delete(prefix) {
+		t.Fatal("term delete failed")
+	}
+	if _, ok := tr.Lookup(prefix); ok {
+		t.Fatal("deleted term key visible")
+	}
+	if !tr.Insert(prefix, 2) {
+		t.Fatal("term re-insert failed")
+	}
+	if v, _ := tr.Lookup(prefix); v != 2 {
+		t.Fatalf("term value %d", v)
+	}
+}
+
+// TestConcurrentScanWhileMutating verifies scans stay ordered and
+// duplicate-free while writers churn the trie.
+func TestConcurrentScanWhileMutating(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 20000; i += 2 {
+		var k [8]byte
+		binary.BigEndian.PutUint64(k[:], i)
+		tr.Insert(k[:], i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var k [8]byte
+			for !stop.Load() {
+				n := uint64(rng.Intn(10000))*2 + 1
+				binary.BigEndian.PutUint64(k[:], n)
+				if rng.Intn(2) == 0 {
+					tr.Insert(k[:], n)
+				} else {
+					tr.Delete(k[:])
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 10; round++ {
+		var prev int64 = -1
+		tr.Scan([]byte{0, 0, 0, 0, 0, 0, 0, 0}, 5000, func(k []byte, v uint64) bool {
+			cur := int64(binary.BigEndian.Uint64(k))
+			if cur <= prev {
+				t.Errorf("scan order: %d after %d", cur, prev)
+				return false
+			}
+			prev = cur
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestConcurrentUpdateValueIntegrity: updates swap leaf contents; readers
+// must always see one of the written values, never garbage.
+func TestConcurrentUpdateValueIntegrity(t *testing.T) {
+	tr := New()
+	key := []byte("contended")
+	tr.Insert(key, 0)
+	nw := runtime.GOMAXPROCS(0) * 2
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if w%2 == 0 {
+					tr.Update(key, uint64(w)<<32|uint64(i))
+				} else if v, ok := tr.Lookup(key); ok {
+					if v != 0 && v>>32 >= uint64(nw) {
+						t.Errorf("garbage value %x", v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,260 @@
+package art
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func key64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func TestNodeGrowth(t *testing.T) {
+	// One byte position with 300 distinct values walks the node through
+	// Node4 -> Node16 -> Node48 -> Node256.
+	tr := New()
+	var keys [][]byte
+	for hi := 0; hi < 2; hi++ {
+		for lo := 0; lo < 150; lo++ {
+			k := []byte{byte(hi), byte(lo), 7}
+			keys = append(keys, k)
+			if !tr.Insert(k, uint64(hi*150+lo)) {
+				t.Fatalf("insert %v failed", k)
+			}
+		}
+	}
+	for i, k := range keys {
+		v, ok := tr.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("lookup %v: %d %v", k, v, ok)
+		}
+	}
+}
+
+func TestPrefixCompressionFork(t *testing.T) {
+	tr := New()
+	a := []byte("shared-prefix-aaaa")
+	b := []byte("shared-prefix-bbbb")
+	c := []byte("shared-pre")       // strict prefix of the shared prefix
+	d := []byte("shared-prefix-aa") // strict prefix of a
+	for i, k := range [][]byte{a, b, c, d} {
+		if !tr.Insert(k, uint64(i)) {
+			t.Fatalf("insert %q failed", k)
+		}
+	}
+	for i, k := range [][]byte{a, b, c, d} {
+		v, ok := tr.Lookup(k)
+		if !ok || v != uint64(i) {
+			t.Fatalf("lookup %q: %d %v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Lookup([]byte("shared-prefix-")); ok {
+		t.Fatal("phantom key found")
+	}
+	// Delete the terminator-slot keys and verify the others survive.
+	if !tr.Delete(c) || !tr.Delete(d) {
+		t.Fatal("delete failed")
+	}
+	for i, k := range [][]byte{a, b} {
+		if v, ok := tr.Lookup(k); !ok || v != uint64(i) {
+			t.Fatalf("post-delete lookup %q: %d %v", k, v, ok)
+		}
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	tr := New()
+	const n = 3000
+	perm := rand.New(rand.NewSource(11)).Perm(n)
+	for _, i := range perm {
+		tr.Insert(key64(uint64(i)*3), uint64(i))
+	}
+	var prev int64 = -1
+	count := tr.Scan(key64(0), n+10, func(k []byte, v uint64) bool {
+		cur := int64(binary.BigEndian.Uint64(k))
+		if cur <= prev {
+			t.Fatalf("scan order: %d after %d", cur, prev)
+		}
+		prev = cur
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan count %d", count)
+	}
+	// Scan from a mid-range non-existent key.
+	first := true
+	tr.Scan(key64(301), 1, func(k []byte, v uint64) bool {
+		if got := binary.BigEndian.Uint64(k); got != 303 {
+			t.Fatalf("scan from 301 starts at %d", got)
+		}
+		first = false
+		return true
+	})
+	if first {
+		t.Fatal("bounded scan visited nothing")
+	}
+}
+
+func TestScanVariableLengthKeys(t *testing.T) {
+	tr := New()
+	keys := []string{"a", "ab", "abc", "abd", "b", "ba", "z"}
+	for i, k := range keys {
+		tr.Insert([]byte(k), uint64(i))
+	}
+	var got []string
+	tr.Scan([]byte("a"), 100, func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := []string{"a", "ab", "abc", "abd", "b", "ba", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("scan: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDeleteRoot(t *testing.T) {
+	tr := New()
+	tr.Insert([]byte("only"), 1)
+	if !tr.Delete([]byte("only")) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := tr.Lookup([]byte("only")); ok {
+		t.Fatal("deleted root still visible")
+	}
+	if !tr.Insert([]byte("again"), 2) {
+		t.Fatal("insert after root delete failed")
+	}
+}
+
+func TestConcurrentInsertLookup(t *testing.T) {
+	tr := New()
+	nw := runtime.GOMAXPROCS(0) * 2
+	const per = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * per
+			for i := uint64(0); i < per; i++ {
+				if !tr.Insert(key64(base+i), base+i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+				if v, ok := tr.Lookup(key64(base + i)); !ok || v != base+i {
+					t.Errorf("read-own-write %d: %d %v", base+i, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for k := uint64(0); k < uint64(nw*per); k++ {
+		if v, ok := tr.Lookup(key64(k)); !ok || v != k {
+			t.Fatalf("lookup %d: %d %v", k, v, ok)
+		}
+	}
+}
+
+func TestQuickStringModel(t *testing.T) {
+	tr := New()
+	model := map[string]uint64{}
+	f := func(raw []byte, v uint64, op uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		k := string(raw)
+		switch op % 3 {
+		case 0:
+			_, exists := model[k]
+			if tr.Insert([]byte(k), v) == exists {
+				return false
+			}
+			if !exists {
+				model[k] = v
+			}
+		case 1:
+			_, exists := model[k]
+			if tr.Delete([]byte(k)) != exists {
+				return false
+			}
+			delete(model, k)
+		default:
+			want, exists := model[k]
+			got, ok := tr.Lookup([]byte(k))
+			if ok != exists || ok && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+	// Scan must agree with the sorted model.
+	var fromScan []string
+	tr.Scan([]byte{0}, len(model)+10, func(k []byte, v uint64) bool {
+		fromScan = append(fromScan, string(k))
+		return true
+	})
+	if len(fromScan) != len(model) {
+		t.Fatalf("scan found %d keys, model has %d", len(fromScan), len(model))
+	}
+	for i := 1; i < len(fromScan); i++ {
+		if fromScan[i-1] >= fromScan[i] {
+			t.Fatalf("scan order violated at %d", i)
+		}
+	}
+	for _, k := range fromScan {
+		if _, ok := model[k]; !ok {
+			t.Fatalf("scan key %q not in model", k)
+		}
+	}
+}
+
+func TestEmailLikeKeys(t *testing.T) {
+	tr := New()
+	var keys [][]byte
+	for i := 0; i < 5000; i++ {
+		k := make([]byte, 32)
+		copy(k, fmt.Sprintf("user%06d@domain%02d.example.com", i*17%5000, i%20))
+		keys = append(keys, k)
+	}
+	for i, k := range keys {
+		if !tr.Insert(k, uint64(i)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := tr.Lookup(k); !ok || v != uint64(i) {
+			t.Fatalf("lookup %d failed", i)
+		}
+	}
+	var prev []byte
+	tr.Scan(bytes.Repeat([]byte{0}, 1), 6000, func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("scan order violated")
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+}

@@ -1,0 +1,143 @@
+package art
+
+import "bytes"
+
+// scanState carries a range scan's progress: the current lower bound
+// (exclusive after the first emission) and the visit budget.
+type scanState struct {
+	bound     []byte
+	inclusive bool
+	count     int
+	max       int
+	visit     func(key []byte, value uint64) bool
+	stop      bool
+}
+
+// Scan visits up to max items with key >= start in ascending key order.
+// Node contents are immutable snapshots, so the walk validates each
+// node's version once and then reads freely; writer interference on a
+// node restarts the walk from the last emitted key.
+func (t *Tree) Scan(start []byte, max int, visit func(key []byte, value uint64) bool) int {
+	st := &scanState{bound: start, inclusive: true, max: max, visit: visit}
+	for {
+		root := t.root.Load()
+		if root == nil || st.count >= max || st.stop {
+			return st.count
+		}
+		if t.scanNode(root, nil, true, st) {
+			return st.count
+		}
+		// Validation failure: restart from the last emitted key.
+	}
+}
+
+// scanNode walks n's subtree in order. cur is the key bytes accumulated
+// above n; bounded reports whether the lower bound can still exclude
+// parts of this subtree. Returns false to request a restart.
+func (t *Tree) scanNode(n *node, cur []byte, bounded bool, st *scanState) bool {
+	v, ok := n.lock.ReadLock()
+	if !ok {
+		return false
+	}
+	c := n.content.Load()
+	if !n.lock.Check(v) {
+		return false
+	}
+	if c.leaf {
+		if st.count >= st.max || st.stop {
+			return true
+		}
+		if bounded {
+			cmp := bytes.Compare(c.key, st.bound)
+			if cmp < 0 || cmp == 0 && !st.inclusive {
+				return true
+			}
+		}
+		st.count++
+		st.bound, st.inclusive = c.key, false
+		if !st.visit(c.key, c.val) {
+			st.stop = true
+		}
+		return true
+	}
+
+	cur = append(cur, c.prefix...)
+	// fromByte is the first child byte worth visiting; term is visited
+	// only when the bound does not exclude a key equal to cur.
+	fromByte := 0
+	visitTerm := true
+	if bounded {
+		m := min(len(cur), len(st.bound))
+		switch bytes.Compare(cur[:m], st.bound[:m]) {
+		case -1:
+			return true // entire subtree below the bound
+		case 1:
+			bounded = false
+		default:
+			if len(cur) >= len(st.bound) {
+				// cur == bound or extends it: every key here is >= bound
+				// except possibly the exact-terminator key.
+				visitTerm = len(cur) > len(st.bound) || st.inclusive
+				bounded = false
+			} else {
+				fromByte = int(st.bound[len(cur)])
+				visitTerm = false
+			}
+		}
+	}
+
+	if visitTerm && c.term != nil {
+		if !t.scanNode(c.term, cur, bounded, st) {
+			return false
+		}
+		if st.count >= st.max || st.stop {
+			return true
+		}
+	}
+	emit := func(b byte, child *node) bool {
+		// A child at exactly fromByte may still contain keys below the
+		// bound, so it stays bounded; later children do not.
+		childBounded := bounded && int(b) == fromByte
+		if !t.scanNode(child, append(cur, b), childBounded, st) {
+			return false
+		}
+		return true
+	}
+	switch c.kind {
+	case kind4, kind16:
+		for i, b := range c.bytes {
+			if int(b) < fromByte {
+				continue
+			}
+			if !emit(b, c.kids[i]) {
+				return false
+			}
+			if st.count >= st.max || st.stop {
+				return true
+			}
+		}
+	case kind48:
+		for b := fromByte; b < 256; b++ {
+			if i := c.idx[b]; i != 0 {
+				if !emit(byte(b), c.kids[i-1]) {
+					return false
+				}
+				if st.count >= st.max || st.stop {
+					return true
+				}
+			}
+		}
+	case kind256:
+		for b := fromByte; b < 256; b++ {
+			if child := c.direct[b]; child != nil {
+				if !emit(byte(b), child) {
+					return false
+				}
+				if st.count >= st.max || st.stop {
+					return true
+				}
+			}
+		}
+	}
+	return true
+}

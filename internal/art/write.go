@@ -1,0 +1,373 @@
+package art
+
+import "bytes"
+
+// Insert adds (key, value), failing if the key is present.
+func (t *Tree) Insert(key []byte, value uint64) bool {
+	for {
+		done, ok := t.insertOnce(key, value)
+		if done {
+			return ok
+		}
+	}
+}
+
+func (t *Tree) insertOnce(key []byte, value uint64) (done, ok bool) {
+	root := t.root.Load()
+	if root == nil {
+		if !t.rootLock.WriteLock() {
+			return false, false
+		}
+		defer t.rootLock.WriteUnlock()
+		if t.root.Load() != nil {
+			return false, false
+		}
+		t.root.Store(newLeaf(key, value))
+		return true, true
+	}
+
+	var parent *node
+	var parentV uint64
+	var parentByte int // -1 = terminator slot, -2 = root
+	parentByte = -2
+	n := root
+	depth := 0
+	for {
+		v, lok := n.lock.ReadLock()
+		if !lok {
+			return false, false
+		}
+		c := n.content.Load()
+		if !n.lock.Check(v) {
+			return false, false
+		}
+
+		if c.leaf {
+			if bytes.Equal(c.key, key) {
+				if !n.lock.Check(v) {
+					return false, false
+				}
+				return true, false // duplicate
+			}
+			// Split the leaf: a new inner node holding both.
+			return t.replaceChild(parent, parentV, parentByte, n, v,
+				makeFork(c, n, key, value, depth))
+		}
+
+		// Prefix handling.
+		rest := key[depth:]
+		cp := commonPrefix(rest, c.prefix)
+		if cp < len(c.prefix) {
+			// Prefix mismatch: fork the prefix.
+			return t.replaceChild(parent, parentV, parentByte, n, v,
+				makePrefixFork(c, n, key, value, depth, cp))
+		}
+		depth += len(c.prefix)
+
+		var b int
+		var child *node
+		if depth == len(key) {
+			b = -1
+			child = c.term
+		} else {
+			b = int(key[depth])
+			child = c.child(key[depth])
+		}
+		if child == nil {
+			// Add the leaf directly to this node (content swap only).
+			if !n.lock.Upgrade(v) {
+				return false, false
+			}
+			leaf := newLeaf(key, value)
+			var nc *content
+			if b < 0 {
+				cc := *c
+				cc.term = leaf
+				nc = &cc
+			} else {
+				nc = c.withChild(byte(b), leaf)
+			}
+			n.content.Store(nc)
+			n.lock.WriteUnlock()
+			return true, true
+		}
+		if parent != nil && !parent.lock.Check(parentV) {
+			return false, false
+		}
+		parent, parentV, parentByte = n, v, b
+		n = child
+		if b >= 0 {
+			depth++
+		}
+	}
+}
+
+// makeFork builds the replacement for a leaf that must split into an
+// inner node holding the old leaf and the new key.
+func makeFork(c *content, old *node, key []byte, value uint64, depth int) *node {
+	oldRest := c.key[depth:]
+	newRest := key[depth:]
+	cp := commonPrefix(oldRest, newRest)
+	inner := &content{kind: kind4, prefix: append([]byte(nil), oldRest[:cp]...)}
+	newLf := newLeaf(key, value)
+	attach := func(rest []byte, child *node) {
+		if len(rest) == cp {
+			inner.term = child
+			return
+		}
+		*inner = *inner.withChild(rest[cp], child)
+	}
+	attach(oldRest, old)
+	attach(newRest, newLf)
+	fork := &node{}
+	fork.content.Store(inner)
+	return fork
+}
+
+// makePrefixFork splits an inner node whose prefix diverges from the key
+// at offset cp.
+func makePrefixFork(c *content, old *node, key []byte, value uint64, depth, cp int) *node {
+	// The old node keeps its identity but with a truncated prefix; it is
+	// re-parented under a new fork node. A fresh node object carries the
+	// truncated content so in-flight readers of the old node are
+	// invalidated by the obsolete mark in replaceChild.
+	trunc := *c
+	trunc.prefix = append([]byte(nil), c.prefix[cp+1:]...)
+	truncNode := &node{}
+	truncNode.content.Store(&trunc)
+
+	inner := &content{kind: kind4, prefix: append([]byte(nil), c.prefix[:cp]...)}
+	*inner = *inner.withChild(c.prefix[cp], truncNode)
+	rest := key[depth:]
+	newLf := newLeaf(key, value)
+	if len(rest) == cp {
+		inner.term = newLf
+	} else {
+		*inner = *inner.withChild(rest[cp], newLf)
+	}
+	fork := &node{}
+	fork.content.Store(inner)
+	return fork
+}
+
+// replaceChild swaps parent's pointer to old for repl, marking old
+// obsolete when it is being structurally replaced (not merely reused as a
+// child). parentByte -2 means old is the root; -1 the terminator slot.
+func (t *Tree) replaceChild(parent *node, parentV uint64, parentByte int, old *node, oldV uint64, repl *node) (done, ok bool) {
+	oldC := old.content.Load()
+	reusedAsChild := oldC.leaf // leaf forks reuse the old node object
+	if parent == nil {
+		if !t.rootLock.WriteLock() {
+			return false, false
+		}
+		defer t.rootLock.WriteUnlock()
+		if t.root.Load() != old {
+			return false, false
+		}
+		if !old.lock.Upgrade(oldV) {
+			return false, false
+		}
+		t.root.Store(repl)
+		if reusedAsChild {
+			old.lock.WriteUnlock()
+		} else {
+			old.lock.WriteUnlockObsolete()
+		}
+		return true, true
+	}
+	if !parent.lock.Upgrade(parentV) {
+		return false, false
+	}
+	if !old.lock.Upgrade(oldV) {
+		parent.lock.WriteUnlock()
+		return false, false
+	}
+	pc := parent.content.Load()
+	var npc *content
+	if parentByte < 0 {
+		cc := *pc
+		cc.term = repl
+		npc = &cc
+	} else {
+		npc = pc.withChild(byte(parentByte), repl)
+	}
+	parent.content.Store(npc)
+	parent.lock.WriteUnlock()
+	if reusedAsChild {
+		old.lock.WriteUnlock()
+	} else {
+		old.lock.WriteUnlockObsolete()
+	}
+	return true, true
+}
+
+// Update replaces key's value, reporting presence. Leaves are immutable
+// snapshots, so the update swaps the leaf's content.
+func (t *Tree) Update(key []byte, value uint64) bool {
+	for {
+		leaf, v, ok, present := t.findLeaf(key)
+		if !ok {
+			continue
+		}
+		if !present {
+			return false
+		}
+		if !leaf.lock.Upgrade(v) {
+			continue
+		}
+		c := leaf.content.Load()
+		nc := *c
+		nc.val = value
+		leaf.content.Store(&nc)
+		leaf.lock.WriteUnlock()
+		return true
+	}
+}
+
+// findLeaf descends to the leaf for key. ok=false requests a restart;
+// present reports whether the leaf holds exactly key.
+func (t *Tree) findLeaf(key []byte) (leaf *node, v uint64, ok, present bool) {
+	n := t.root.Load()
+	if n == nil {
+		return nil, 0, true, false
+	}
+	depth := 0
+	for {
+		nv, lok := n.lock.ReadLock()
+		if !lok {
+			return nil, 0, false, false
+		}
+		c := n.content.Load()
+		if !n.lock.Check(nv) {
+			return nil, 0, false, false
+		}
+		if c.leaf {
+			return n, nv, true, bytes.Equal(c.key, key)
+		}
+		if !hasPrefix(key[depth:], c.prefix) {
+			return nil, 0, true, false
+		}
+		depth += len(c.prefix)
+		var child *node
+		if depth == len(key) {
+			child = c.term
+		} else {
+			child = c.child(key[depth])
+			depth++
+		}
+		if child == nil {
+			if !n.lock.ReadUnlock(nv) {
+				return nil, 0, false, false
+			}
+			return nil, 0, true, false
+		}
+		n = child
+	}
+}
+
+// Delete removes key, reporting whether it was present. Node kinds do
+// not shrink and single-child inner nodes are not collapsed (the paper's
+// ART shrinks nodes; this simplification costs a little space and path
+// length after heavy deletes — noted in DESIGN.md).
+func (t *Tree) Delete(key []byte) bool {
+	for {
+		done, ok := t.deleteOnce(key)
+		if done {
+			return ok
+		}
+	}
+}
+
+func (t *Tree) deleteOnce(key []byte) (done, ok bool) {
+	root := t.root.Load()
+	if root == nil {
+		return true, false
+	}
+	var parent *node
+	var parentV uint64
+	parentByte := -2
+	n := root
+	depth := 0
+	for {
+		v, lok := n.lock.ReadLock()
+		if !lok {
+			return false, false
+		}
+		c := n.content.Load()
+		if !n.lock.Check(v) {
+			return false, false
+		}
+		if c.leaf {
+			if !bytes.Equal(c.key, key) {
+				return true, false
+			}
+			return t.removeLeaf(parent, parentV, parentByte, n, v)
+		}
+		if !hasPrefix(key[depth:], c.prefix) {
+			return true, false
+		}
+		depth += len(c.prefix)
+		var b int
+		var child *node
+		if depth == len(key) {
+			b = -1
+			child = c.term
+		} else {
+			b = int(key[depth])
+			child = c.child(key[depth])
+		}
+		if child == nil {
+			if !n.lock.ReadUnlock(v) {
+				return false, false
+			}
+			return true, false
+		}
+		if parent != nil && !parent.lock.Check(parentV) {
+			return false, false
+		}
+		parent, parentV, parentByte = n, v, b
+		n = child
+		if b >= 0 {
+			depth++
+		}
+	}
+}
+
+// removeLeaf unlinks a leaf from its parent.
+func (t *Tree) removeLeaf(parent *node, parentV uint64, parentByte int, leaf *node, leafV uint64) (done, ok bool) {
+	if parent == nil {
+		if !t.rootLock.WriteLock() {
+			return false, false
+		}
+		defer t.rootLock.WriteUnlock()
+		if t.root.Load() != leaf {
+			return false, false
+		}
+		if !leaf.lock.Upgrade(leafV) {
+			return false, false
+		}
+		t.root.Store(nil)
+		leaf.lock.WriteUnlockObsolete()
+		return true, true
+	}
+	if !parent.lock.Upgrade(parentV) {
+		return false, false
+	}
+	if !leaf.lock.Upgrade(leafV) {
+		parent.lock.WriteUnlock()
+		return false, false
+	}
+	pc := parent.content.Load()
+	var npc *content
+	if parentByte < 0 {
+		cc := *pc
+		cc.term = nil
+		npc = &cc
+	} else {
+		npc = pc.withoutChild(byte(parentByte))
+	}
+	parent.content.Store(npc)
+	parent.lock.WriteUnlock()
+	leaf.lock.WriteUnlockObsolete()
+	return true, true
+}

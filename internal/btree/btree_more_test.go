@@ -1,0 +1,138 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestScanDuringSplits runs scans concurrently with a split storm; scans
+// must stay sorted and never drop pre-existing keys.
+func TestScanDuringSplits(t *testing.T) {
+	tr := New(8)
+	// Stable keys: even numbers, present throughout.
+	const stable = 10000
+	for i := uint64(0); i < stable; i++ {
+		tr.Insert(key64(i*4), i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for !stop.Load() {
+				k := uint64(rng.Intn(stable*4)) | 1 // odd keys churn
+				if rng.Intn(2) == 0 {
+					tr.Insert(key64(k), k)
+				} else {
+					tr.Delete(key64(k))
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 10; round++ {
+		var prev int64 = -1
+		stableSeen := 0
+		tr.Scan(key64(0), stable*2, func(k []byte, v uint64) bool {
+			cur := int64(binary.BigEndian.Uint64(k))
+			if cur <= prev {
+				t.Errorf("scan order: %d after %d", cur, prev)
+				return false
+			}
+			if cur%4 == 0 {
+				stableSeen++
+			}
+			prev = cur
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestConcurrentUpdates hammers updates on a fixed key set; lookups must
+// always observe some written value.
+func TestConcurrentUpdates(t *testing.T) {
+	tr := New(16)
+	const keys = 100
+	for i := uint64(0); i < keys; i++ {
+		tr.Insert(key64(i), i)
+	}
+	nw := runtime.GOMAXPROCS(0) * 2
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(keys))
+				if w%2 == 0 {
+					tr.Update(key64(k), k+uint64(i)<<16)
+				} else if v, ok := tr.Lookup(key64(k)); !ok || v&0xffff != k {
+					t.Errorf("key %d: %d %v", k, v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestEmptyAndSingleton covers degenerate shapes.
+func TestEmptyAndSingleton(t *testing.T) {
+	tr := New(0)
+	if _, ok := tr.Lookup(key64(1)); ok {
+		t.Fatal("empty lookup found something")
+	}
+	if tr.Delete(key64(1)) {
+		t.Fatal("empty delete succeeded")
+	}
+	if tr.Scan(key64(0), 10, func(k []byte, v uint64) bool { return true }) != 0 {
+		t.Fatal("empty scan visited items")
+	}
+	tr.Insert(key64(7), 70)
+	if n := tr.Scan(key64(0), 10, func(k []byte, v uint64) bool { return true }); n != 1 {
+		t.Fatalf("singleton scan %d", n)
+	}
+	if !tr.Delete(key64(7)) {
+		t.Fatal("singleton delete failed")
+	}
+	if tr.Scan(key64(0), 10, func(k []byte, v uint64) bool { return true }) != 0 {
+		t.Fatal("post-delete scan visited items")
+	}
+}
+
+// TestVariableLengthKeys mixes key lengths (prefix relationships).
+func TestVariableLengthKeys(t *testing.T) {
+	tr := New(4)
+	keys := []string{"a", "aa", "aaa", "ab", "b", "ba", "bb", "c"}
+	for i, k := range keys {
+		if !tr.Insert([]byte(k), uint64(i)) {
+			t.Fatalf("insert %q failed", k)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := tr.Lookup([]byte(k)); !ok || v != uint64(i) {
+			t.Fatalf("lookup %q: %d %v", k, v, ok)
+		}
+	}
+	var got []string
+	tr.Scan([]byte("a"), 100, func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("scan[%d]=%q want %q", i, got[i], keys[i])
+		}
+	}
+}

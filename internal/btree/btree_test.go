@@ -1,0 +1,146 @@
+package btree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func key64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func TestSplitsSmallCap(t *testing.T) {
+	// Capacity 4 forces splits constantly, exercising root and child
+	// splits and leaf-link wiring.
+	tr := New(4)
+	const n = 5000
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm {
+		if !tr.Insert(key64(uint64(i)), uint64(i)*2) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tr.Lookup(key64(i))
+		if !ok || v != i*2 {
+			t.Fatalf("lookup %d: %d %v", i, v, ok)
+		}
+	}
+	// Scan sees everything in order despite heavy splitting.
+	var prev int64 = -1
+	count := tr.Scan(key64(0), n+10, func(k []byte, v uint64) bool {
+		cur := int64(binary.BigEndian.Uint64(k))
+		if cur <= prev {
+			t.Fatalf("scan order: %d after %d", cur, prev)
+		}
+		prev = cur
+		return true
+	})
+	if count != n {
+		t.Fatalf("scan count %d", count)
+	}
+}
+
+func TestDeleteLeavesNoGhost(t *testing.T) {
+	tr := New(8)
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(key64(i), i)
+	}
+	for i := uint64(0); i < 1000; i += 2 {
+		if !tr.Delete(key64(i)) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	count := tr.Scan(key64(0), 2000, func(k []byte, v uint64) bool {
+		if binary.BigEndian.Uint64(k)%2 == 0 {
+			t.Fatalf("deleted key %d in scan", binary.BigEndian.Uint64(k))
+		}
+		return true
+	})
+	if count != 500 {
+		t.Fatalf("scan count %d", count)
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tr := New(0)
+	tr.Insert([]byte("k"), 1)
+	if !tr.Update([]byte("k"), 2) {
+		t.Fatal("update failed")
+	}
+	if tr.Update([]byte("missing"), 1) {
+		t.Fatal("update of absent key succeeded")
+	}
+	if v, _ := tr.Lookup([]byte("k")); v != 2 {
+		t.Fatalf("value %d", v)
+	}
+}
+
+func TestConcurrentSplitStorm(t *testing.T) {
+	tr := New(4) // tiny nodes -> constant splitting under contention
+	nw := runtime.GOMAXPROCS(0) * 2
+	const per = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * per
+			for i := uint64(0); i < per; i++ {
+				if !tr.Insert(key64(base+i), base+i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for k := uint64(0); k < uint64(nw*per); k++ {
+		if v, ok := tr.Lookup(key64(k)); !ok || v != k {
+			t.Fatalf("lookup %d: %d %v", k, v, ok)
+		}
+	}
+}
+
+func TestQuickModel(t *testing.T) {
+	tr := New(6)
+	model := map[uint64]uint64{}
+	f := func(k uint16, v uint64, op uint8) bool {
+		key := key64(uint64(k))
+		switch op % 3 {
+		case 0:
+			_, exists := model[uint64(k)]
+			if tr.Insert(key, v) == exists {
+				return false
+			}
+			if !exists {
+				model[uint64(k)] = v
+			}
+		case 1:
+			_, exists := model[uint64(k)]
+			if tr.Delete(key) != exists {
+				return false
+			}
+			delete(model, uint64(k))
+		default:
+			want, exists := model[uint64(k)]
+			got, ok := tr.Lookup(key)
+			if ok != exists || ok && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

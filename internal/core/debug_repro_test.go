@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestModelSweep replays the random workload and verifies the entire key
+// space after every mutation, pinpointing the first corrupting operation.
+// It is slower than TestRandomModel but invaluable when that test fails.
+func TestModelSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	for name, opts := range allConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tr := New(opts)
+			defer tr.Close()
+			s := tr.NewSession()
+			defer s.Release()
+
+			rng := rand.New(rand.NewSource(42))
+			model := make(map[uint64]uint64)
+			const ops = 4000
+			const keySpace = 400
+			for i := 0; i < ops; i++ {
+				k := uint64(rng.Intn(keySpace)) + 1
+				switch rng.Intn(4) {
+				case 0:
+					if s.Insert(key64(k), k*10) {
+						model[k] = k * 10
+					}
+				case 1:
+					s.Delete(key64(k), 0)
+					delete(model, k)
+				case 2:
+					v := uint64(rng.Int63())
+					if s.Update(key64(k), v) {
+						model[k] = v
+					}
+				default:
+					s.Lookup(key64(k), nil)
+				}
+				for q := uint64(1); q <= keySpace; q++ {
+					want, exists := model[q]
+					got := s.Lookup(key64(q), nil)
+					if exists && (len(got) != 1 || got[0] != want) {
+						t.Fatalf("after op %d (key %d): lookup %d got %v want %d\n%s", i, k, q, got, want, tr.Dump())
+					}
+					if !exists && len(got) != 0 {
+						t.Fatalf("after op %d (key %d): lookup %d got %v want empty\n%s", i, k, q, got, tr.Dump())
+					}
+				}
+			}
+		})
+	}
+}

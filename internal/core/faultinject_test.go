@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// withCASFailures installs a fault-injection hook for the test's
+// duration. The hook never fails a CaS whose expected head is a ∆abort:
+// those are ownership-guaranteed by the merge protocol (Appendix B) and
+// genuinely cannot fail.
+func withCASFailures(t *testing.T, hook func(id nodeID, old, new *delta) bool) {
+	old := casFailHook
+	casFailHook = func(id nodeID, o, n *delta) bool {
+		if o != nil && o.kind == kAbort {
+			return false
+		}
+		return hook(id, o, n)
+	}
+	t.Cleanup(func() { casFailHook = old })
+}
+
+// TestInjectSplitSeparatorFailures forces every ∆separator post to fail a
+// few times: splits are left half-finished, traversals must chase sibling
+// links and help complete them, and the tree must converge to a valid
+// state regardless.
+func TestInjectSplitSeparatorFailures(t *testing.T) {
+	failures := map[nodeID]int{}
+	withCASFailures(t, func(id nodeID, o, n *delta) bool {
+		if n.kind == kInnerInsert && failures[n.child] < 3 {
+			failures[n.child]++
+			return true
+		}
+		return false
+	})
+
+	opts := DefaultOptions()
+	opts.LeafNodeSize = 16
+	opts.InnerNodeSize = 8
+	opts.LeafChainLength = 4
+	opts.InnerChainLength = 2
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		if !s.Insert(key64(i), i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		got := s.Lookup(key64(i), nil)
+		if len(got) != 1 || got[0] != i {
+			t.Fatalf("lookup %d: %v", i, got)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if len(failures) == 0 {
+		t.Fatal("injection never fired")
+	}
+}
+
+// TestInjectSplitDeltaFailures fails the ∆split publication itself
+// (Stage II): the split must abandon cleanly, recycle the unborn right
+// sibling, and be retried by a later consolidation.
+func TestInjectSplitDeltaFailures(t *testing.T) {
+	count := 0
+	withCASFailures(t, func(id nodeID, o, n *delta) bool {
+		if n.kind == kSplit && count%2 == 0 {
+			count++
+			return true
+		}
+		if n.kind == kSplit {
+			count++
+		}
+		return false
+	})
+
+	opts := DefaultOptions()
+	opts.LeafNodeSize = 16
+	opts.InnerNodeSize = 8
+	opts.LeafChainLength = 4
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		s.Insert(key64(i), i)
+	}
+	if count == 0 {
+		t.Fatal("injection never fired")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got := tr.Count(); got != n {
+		t.Fatalf("count %d", got)
+	}
+}
+
+// TestInjectMergeFailures fails ∆abort and ∆remove publications so merges
+// abandon at every stage boundary; deletions must still be correct and
+// the tree consistent.
+func TestInjectMergeFailures(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	fired := 0
+	withCASFailures(t, func(id nodeID, o, n *delta) bool {
+		if (n.kind == kAbort || n.kind == kRemove || n.kind == kMerge) && rng.Intn(2) == 0 {
+			fired++
+			return true
+		}
+		return false
+	})
+
+	opts := DefaultOptions()
+	opts.LeafNodeSize = 16
+	opts.InnerNodeSize = 8
+	opts.LeafChainLength = 4
+	opts.LeafMergeSize = 4
+	opts.InnerMergeSize = 2
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	const n = 8000
+	for i := uint64(0); i < n; i++ {
+		s.Insert(key64(i), i)
+	}
+	for i := uint64(0); i < n; i++ {
+		if !s.Delete(key64(i), 0) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("injection never fired")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got := tr.Count(); got != 0 {
+		t.Fatalf("count %d after drain", got)
+	}
+	// The tree remains fully usable.
+	for i := uint64(0); i < 1000; i++ {
+		if !s.Insert(key64(i), i+1) {
+			t.Fatalf("re-insert %d failed", i)
+		}
+	}
+}
+
+// TestInjectRandomChaos sprays random CaS failures over a mixed workload
+// and checks the tree still matches a model map exactly.
+func TestInjectRandomChaos(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	withCASFailures(t, func(id nodeID, o, n *delta) bool {
+		return rng.Intn(10) == 0
+	})
+
+	opts := DefaultOptions()
+	opts.LeafNodeSize = 12
+	opts.InnerNodeSize = 6
+	opts.LeafChainLength = 4
+	opts.InnerChainLength = 2
+	opts.LeafMergeSize = 3
+	opts.InnerMergeSize = 2
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	model := map[uint64]uint64{}
+	opRng := rand.New(rand.NewSource(5))
+	for i := 0; i < 30000; i++ {
+		k := uint64(opRng.Intn(1500)) + 1
+		switch opRng.Intn(4) {
+		case 0:
+			_, exists := model[k]
+			if s.Insert(key64(k), k) == exists {
+				t.Fatalf("op %d: insert %d inconsistent", i, k)
+			}
+			if !exists {
+				model[k] = k
+			}
+		case 1:
+			_, exists := model[k]
+			if s.Delete(key64(k), 0) != exists {
+				t.Fatalf("op %d: delete %d inconsistent", i, k)
+			}
+			delete(model, k)
+		case 2:
+			v := uint64(opRng.Int63())
+			_, exists := model[k]
+			if s.Update(key64(k), v) != exists {
+				t.Fatalf("op %d: update %d inconsistent", i, k)
+			}
+			if exists {
+				model[k] = v
+			}
+		default:
+			want, exists := model[k]
+			got := s.Lookup(key64(k), nil)
+			if exists != (len(got) == 1) || exists && got[0] != want {
+				t.Fatalf("op %d: lookup %d got %v want %d,%v", i, k, got, want, exists)
+			}
+		}
+	}
+	casFailHook = nil // quiesce before structural checks
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if got := tr.Count(); got != len(model) {
+		t.Fatalf("count %d, model %d", got, len(model))
+	}
+	if tr.Stats().Aborts == 0 {
+		t.Fatal("chaos produced no aborts")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestFastConsolidationDifferential cross-checks the fast (§4.3) and
+// baseline consolidation algorithms on every consolidation a random
+// workload performs.
+func TestFastConsolidationDifferential(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LeafNodeSize = 8
+	opts.InnerNodeSize = 4
+	opts.LeafChainLength = 4
+	opts.InnerChainLength = 2
+	opts.LeafMergeSize = 2
+	opts.InnerMergeSize = 2
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	old := fcDiffHook
+	defer func() { fcDiffHook = old }()
+	fcDiffHook = func(head *delta, fast collected) {
+		base := s.collectLeafBaseline(head)
+		if err := sameItems(fast, base); err != nil {
+			t.Fatalf("fast/baseline divergence: %v\nfast: %s\nbase: %s",
+				err, fmtItems(fast), fmtItems(base))
+		}
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4000; i++ {
+		k := uint64(rng.Intn(400)) + 1
+		switch rng.Intn(4) {
+		case 0:
+			s.Insert(key64(k), k*10)
+		case 1:
+			s.Delete(key64(k), 0)
+		case 2:
+			s.Update(key64(k), uint64(rng.Int63()))
+		default:
+			s.Lookup(key64(k), nil)
+		}
+	}
+}
+
+func sameItems(a, b collected) error {
+	if len(a.keys) != len(b.keys) {
+		return fmt.Errorf("length %d vs %d", len(a.keys), len(b.keys))
+	}
+	// Compare as multisets sorted by (key, value): duplicate-value order
+	// is unspecified between the algorithms.
+	type kv struct {
+		k []byte
+		v uint64
+	}
+	mk := func(c collected) []kv {
+		out := make([]kv, len(c.keys))
+		for i := range c.keys {
+			out[i] = kv{c.keys[i], c.vals[i]}
+		}
+		sort.Slice(out, func(x, y int) bool {
+			if cmp := bytes.Compare(out[x].k, out[y].k); cmp != 0 {
+				return cmp < 0
+			}
+			return out[x].v < out[y].v
+		})
+		return out
+	}
+	av, bv := mk(a), mk(b)
+	for i := range av {
+		if !bytes.Equal(av[i].k, bv[i].k) || av[i].v != bv[i].v {
+			return fmt.Errorf("item %d: (%q,%d) vs (%q,%d)", i, av[i].k, av[i].v, bv[i].k, bv[i].v)
+		}
+	}
+	return nil
+}
+
+func fmtItems(c collected) string {
+	var b bytes.Buffer
+	for i := range c.keys {
+		fmt.Fprintf(&b, "(%x,%d) ", c.keys[i], c.vals[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+)
+
+// Iterator provides ordered forward and backward traversal (§3.2). It
+// never operates on live tree nodes: each positioning step materializes a
+// private, consolidated copy of one logical leaf node, so concurrent
+// inserts, deletes, and SMOs cannot invalidate the cursor. Moving past
+// either end of the copy re-traverses the tree using the copy's low or
+// high key (Appendix C).
+//
+// An Iterator is owned by its Session and must not outlive it or be used
+// concurrently with it from another goroutine.
+type Iterator struct {
+	s *Session
+
+	keys    [][]byte
+	vals    []uint64
+	lowKey  []byte
+	highKey []byte
+	pos     int
+	valid   bool
+}
+
+// NewIterator returns an unpositioned iterator; call Seek, SeekFirst, or
+// SeekToLast before use.
+func (s *Session) NewIterator() *Iterator { return &Iterator{s: s} }
+
+// Valid reports whether the iterator is positioned on an item.
+func (it *Iterator) Valid() bool { return it.valid }
+
+// Key returns the current item's key. The slice is shared with the
+// iterator's private copy and must not be modified.
+func (it *Iterator) Key() []byte { return it.keys[it.pos] }
+
+// Value returns the current item's value.
+func (it *Iterator) Value() uint64 { return it.vals[it.pos] }
+
+// loadNode materializes the logical leaf covering key into the iterator.
+func (it *Iterator) loadNode(key []byte) bool {
+	s := it.s
+	s.h.Enter()
+	defer s.h.Exit()
+	spins := 0
+	for {
+		var tr traversal
+		if !s.descend(key, &tr) {
+			s.abortBackoff(&spins)
+			continue
+		}
+		c := s.collect(tr.head)
+		it.keys, it.vals = c.keys, c.vals
+		it.lowKey, it.highKey = tr.head.lowKey, tr.head.highKey
+		return true
+	}
+}
+
+// loadNodeLeft materializes the logical leaf immediately left of key
+// (i.e. covering key-ε), using the backward traversal rule of Appendix
+// C.2: when a separator equals the search key, take the next-smaller one.
+func (it *Iterator) loadNodeLeft(key []byte) bool {
+	s := it.s
+	t := s.t
+	s.h.Enter()
+	defer s.h.Exit()
+	spins := 0
+restart:
+	for {
+		if spins > 2 {
+			runtime.Gosched()
+		}
+		spins++
+		id := t.root
+		parentID := invalidNode
+		var parentHead *delta
+		for hops := 0; hops < maxTraversalHops; hops++ {
+			head := t.load(id)
+			if head == nil || head.kind == kAbort {
+				s.stats.aborts++
+				continue restart
+			}
+			if head.kind == kRemove {
+				leftID, ok := s.helpMerge(parentID, parentHead, id, head)
+				if !ok {
+					s.stats.aborts++
+					continue restart
+				}
+				id = leftID
+				continue
+			}
+			// The target covers key-ε: it needs highKey >= key. A node
+			// with highKey < key lies too far left; chase right.
+			if head.highKey != nil && keyGT(key, head.highKey) {
+				if head.rightSib == invalidNode {
+					s.stats.aborts++
+					continue restart
+				}
+				id = head.rightSib
+				continue
+			}
+			// Appendix C.2 abort rule: a concurrent SMO can hand us a
+			// node that no longer lies strictly left of the search key.
+			if head.lowKey != nil && !keyGT(key, head.lowKey) {
+				s.stats.aborts++
+				continue restart
+			}
+			if head.isLeaf {
+				c := s.collect(head)
+				it.keys, it.vals = c.keys, c.vals
+				it.lowKey, it.highKey = head.lowKey, head.highKey
+				return true
+			}
+			child, ok := s.routeInnerLeft(head, key)
+			if !ok {
+				s.stats.aborts++
+				continue restart
+			}
+			parentID, parentHead = id, head
+			id = child
+		}
+		s.stats.aborts++
+	}
+}
+
+// Seek positions the iterator at the smallest item with key >= key.
+func (it *Iterator) Seek(key []byte) {
+	checkKey(key)
+	it.loadNode(key)
+	pos, _ := searchKeys(it.keys, key)
+	it.pos = pos
+	it.valid = true
+	if pos >= len(it.keys) {
+		it.advanceNode()
+	}
+}
+
+// SeekFirst positions the iterator at the tree's smallest item.
+func (it *Iterator) SeekFirst() {
+	it.loadNode([]byte{0})
+	// The leftmost leaf has a nil low key; an empty or drained copy
+	// advances to the right.
+	it.pos = 0
+	it.valid = true
+	if len(it.keys) == 0 {
+		it.advanceNode()
+	}
+}
+
+// SeekToLast positions the iterator at the tree's largest item.
+func (it *Iterator) SeekToLast() {
+	// Walk to the rightmost leaf by always taking the last child: loading
+	// with +inf is impossible, so chase high keys from the leftmost leaf
+	// would be O(n); instead reuse backward stepping from beyond every
+	// key: start at the rightmost node via repeated right-sibling chase.
+	it.loadNode([]byte{0})
+	for it.highKey != nil {
+		if !it.loadNode(it.highKey) {
+			it.valid = false
+			return
+		}
+	}
+	it.pos = len(it.keys) - 1
+	it.valid = it.pos >= 0
+	if !it.valid && it.lowKey != nil {
+		it.valid = true
+		it.pos = 0
+		it.retreatNode()
+	}
+}
+
+// Next moves to the next item in ascending key order.
+func (it *Iterator) Next() {
+	if !it.valid {
+		return
+	}
+	it.pos++
+	if it.pos >= len(it.keys) {
+		it.advanceNode()
+	}
+}
+
+// Prev moves to the previous item in descending key order.
+func (it *Iterator) Prev() {
+	if !it.valid {
+		return
+	}
+	it.pos--
+	if it.pos < 0 {
+		it.retreatNode()
+	}
+}
+
+// advanceNode jumps to the next logical leaf (Appendix C.1): re-traverse
+// with the exhausted copy's high key and binary-search it, which lands
+// correctly even if the next node merged or split meanwhile.
+func (it *Iterator) advanceNode() {
+	for {
+		if it.highKey == nil {
+			it.valid = false
+			return
+		}
+		bound := it.highKey
+		it.loadNode(bound)
+		pos, _ := searchKeys(it.keys, bound)
+		if pos < len(it.keys) {
+			it.pos = pos
+			return
+		}
+		// The node is empty past the bound (e.g. everything deleted);
+		// keep walking right.
+	}
+}
+
+// retreatNode jumps to the previous logical leaf (Appendix C.2).
+func (it *Iterator) retreatNode() {
+	for {
+		if it.lowKey == nil {
+			it.valid = false
+			return
+		}
+		bound := it.lowKey
+		it.loadNodeLeft(bound)
+		// Position on the largest item strictly below bound.
+		pos, _ := searchKeys(it.keys, bound)
+		if pos > 0 {
+			it.pos = pos - 1
+			return
+		}
+		// Nothing below the bound in this copy; continue left.
+	}
+}
+
+// Scan visits at most n items in ascending order starting at the smallest
+// key >= start, stopping early when visit returns false. It returns the
+// number of items visited. This is the YCSB-E range-scan entry point.
+func (s *Session) Scan(start []byte, n int, visit func(key []byte, value uint64) bool) int {
+	it := s.NewIterator()
+	it.Seek(start)
+	count := 0
+	for it.Valid() && count < n {
+		count++
+		if !visit(it.Key(), it.Value()) {
+			break
+		}
+		it.Next()
+	}
+	s.stats.ops++
+	return count
+}
+
+// Range visits every item with start <= key < end in ascending order,
+// stopping early when visit returns false. It returns the number of
+// items visited. A nil end means +inf.
+func (s *Session) Range(start, end []byte, visit func(key []byte, value uint64) bool) int {
+	it := s.NewIterator()
+	it.Seek(start)
+	count := 0
+	for it.Valid() && keyLT(it.Key(), end) {
+		count++
+		if !visit(it.Key(), it.Value()) {
+			break
+		}
+		it.Next()
+	}
+	s.stats.ops++
+	return count
+}
+
+// ScanReverse visits at most n items in descending order starting at the
+// largest key <= start.
+func (s *Session) ScanReverse(start []byte, n int, visit func(key []byte, value uint64) bool) int {
+	it := s.NewIterator()
+	it.Seek(start)
+	if !it.Valid() {
+		it.SeekToLast()
+	} else if !bytes.Equal(it.Key(), start) {
+		it.Prev()
+	}
+	count := 0
+	for it.Valid() && count < n {
+		count++
+		if !visit(it.Key(), it.Value()) {
+			break
+		}
+		it.Prev()
+	}
+	s.stats.ops++
+	return count
+}

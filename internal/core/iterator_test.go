@@ -1,0 +1,289 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestIteratorSeekSemantics(t *testing.T) {
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+	for i := uint64(10); i <= 100; i += 10 {
+		s.Insert(key64(i), i)
+	}
+	it := s.NewIterator()
+
+	// Exact seek.
+	it.Seek(key64(50))
+	if !it.Valid() || binary.BigEndian.Uint64(it.Key()) != 50 {
+		t.Fatalf("seek 50: valid=%v", it.Valid())
+	}
+	// Between keys: lands on the next larger.
+	it.Seek(key64(55))
+	if binary.BigEndian.Uint64(it.Key()) != 60 {
+		t.Fatalf("seek 55 landed on %d", binary.BigEndian.Uint64(it.Key()))
+	}
+	// Past the end.
+	it.Seek(key64(1000))
+	if it.Valid() {
+		t.Fatal("seek past end is valid")
+	}
+	// SeekFirst / SeekToLast.
+	it.SeekFirst()
+	if binary.BigEndian.Uint64(it.Key()) != 10 {
+		t.Fatalf("first %d", binary.BigEndian.Uint64(it.Key()))
+	}
+	it.SeekToLast()
+	if binary.BigEndian.Uint64(it.Key()) != 100 {
+		t.Fatalf("last %d", binary.BigEndian.Uint64(it.Key()))
+	}
+	// Prev from first invalidates.
+	it.SeekFirst()
+	it.Prev()
+	if it.Valid() {
+		t.Fatal("prev before first is valid")
+	}
+	// Next from last invalidates.
+	it.SeekToLast()
+	it.Next()
+	if it.Valid() {
+		t.Fatal("next after last is valid")
+	}
+}
+
+func TestIteratorEmptyTree(t *testing.T) {
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+	it := s.NewIterator()
+	it.SeekFirst()
+	if it.Valid() {
+		t.Fatal("empty tree iterator valid")
+	}
+	it.SeekToLast()
+	if it.Valid() {
+		t.Fatal("empty tree SeekToLast valid")
+	}
+	it.Seek(key64(1))
+	if it.Valid() {
+		t.Fatal("empty tree Seek valid")
+	}
+}
+
+func TestIteratorBidirectional(t *testing.T) {
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+	const n = 2000
+	for i := uint64(0); i < n; i++ {
+		s.Insert(key64(i*2+2), i)
+	}
+	it := s.NewIterator()
+	// Walk to the middle, then reverse, then forward again.
+	it.Seek(key64(n)) // middle
+	mid := binary.BigEndian.Uint64(it.Key())
+	it.Next()
+	it.Prev()
+	if got := binary.BigEndian.Uint64(it.Key()); got != mid {
+		t.Fatalf("next+prev moved: %d -> %d", mid, got)
+	}
+	it.Prev()
+	if got := binary.BigEndian.Uint64(it.Key()); got != mid-2 {
+		t.Fatalf("prev: %d", got)
+	}
+}
+
+// TestIteratorUnderConcurrentMerges runs backward iteration while other
+// goroutines delete whole regions (forcing merges) — the Appendix C.2
+// scenario where separators vanish mid-traversal.
+func TestIteratorUnderConcurrentMerges(t *testing.T) {
+	opts := DefaultOptions()
+	opts.LeafNodeSize = 32
+	opts.InnerNodeSize = 16
+	opts.LeafChainLength = 8
+	opts.LeafMergeSize = 8
+	opts.InnerMergeSize = 4
+	tr := New(opts)
+	defer tr.Close()
+	{
+		s := tr.NewSession()
+		for i := uint64(1); i <= 40000; i++ {
+			s.Insert(key64(i), i)
+		}
+		s.Release()
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	// Deleters drain random 256-key regions.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			s := tr.NewSession()
+			defer s.Release()
+			for !stop.Load() {
+				base := uint64(rng.Intn(39000))
+				for i := uint64(0); i < 256; i++ {
+					s.Delete(key64(base+i+1), 0)
+				}
+				for i := uint64(0); i < 256; i++ {
+					s.Insert(key64(base+i+1), base+i+1)
+				}
+			}
+		}(w)
+	}
+	// Backward iterators must always observe strictly decreasing keys.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := tr.NewSession()
+			defer s.Release()
+			for round := 0; round < 10; round++ {
+				it := s.NewIterator()
+				prev := uint64(1 << 62)
+				count := 0
+				for it.SeekToLast(); it.Valid() && count < 3000; it.Prev() {
+					cur := binary.BigEndian.Uint64(it.Key())
+					if cur >= prev {
+						t.Errorf("backward order violated: %d then %d", prev, cur)
+						return
+					}
+					prev = cur
+					count++
+				}
+			}
+		}(w)
+	}
+	// Forward scanners too.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := tr.NewSession()
+		defer s.Release()
+		for round := 0; round < 20; round++ {
+			prev := uint64(0)
+			s.Scan(key64(1), 5000, func(k []byte, v uint64) bool {
+				cur := binary.BigEndian.Uint64(k)
+				if cur <= prev {
+					t.Errorf("forward order violated: %d then %d", prev, cur)
+					return false
+				}
+				prev = cur
+				return true
+			})
+		}
+	}()
+	// Give iterators a moment of overlap, then stop deleters once the
+	// iterator goroutines have finished their rounds.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	stop.Store(true)
+	<-done
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanReverse(t *testing.T) {
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+	for i := uint64(0); i < 100; i++ {
+		s.Insert(key64(i*2), i)
+	}
+	var got []uint64
+	// From an existing key: inclusive.
+	s.ScanReverse(key64(50), 3, func(k []byte, v uint64) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	want := []uint64{50, 48, 46}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rscan: %v", got)
+		}
+	}
+	// From between keys: starts below.
+	got = got[:0]
+	s.ScanReverse(key64(51), 2, func(k []byte, v uint64) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	if len(got) != 2 || got[0] != 50 || got[1] != 48 {
+		t.Fatalf("rscan from 51: %v", got)
+	}
+}
+
+func TestOptionsSanitize(t *testing.T) {
+	var o Options
+	o.sanitize()
+	d := DefaultOptions()
+	if o.LeafNodeSize != d.LeafNodeSize || o.InnerChainLength != d.InnerChainLength {
+		t.Fatalf("sanitized zero options: %+v", o)
+	}
+	// Merge sizes are clamped below half the node size.
+	o = DefaultOptions()
+	o.LeafMergeSize = 1000
+	o.sanitize()
+	if o.LeafMergeSize > o.LeafNodeSize/2 {
+		t.Fatalf("merge size not clamped: %d", o.LeafMergeSize)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	s1 := tr.NewSession()
+	s2 := tr.NewSession()
+	for i := uint64(0); i < 1000; i++ {
+		s1.Insert(key64(i), i)
+		s2.Lookup(key64(i), nil)
+	}
+	live := tr.Stats()
+	if live.Ops != 2000 {
+		t.Fatalf("live ops %d", live.Ops)
+	}
+	s1.Release()
+	s2.Release()
+	after := tr.Stats()
+	if after.Ops != 2000 {
+		t.Fatalf("post-release ops %d", after.Ops)
+	}
+	if after.GC.Retired == 0 {
+		t.Fatal("no retires recorded")
+	}
+}
+
+func TestGCSchemesBothWork(t *testing.T) {
+	for _, scheme := range []GCScheme{GCCentralized, GCDecentralized} {
+		opts := DefaultOptions()
+		opts.GC = scheme
+		opts.LeafChainLength = 4
+		tr := New(opts)
+		s := tr.NewSession()
+		for i := uint64(0); i < 20000; i++ {
+			s.Insert(key64(i), i)
+		}
+		for i := uint64(0); i < 20000; i += 2 {
+			s.Delete(key64(i), 0)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("scheme %v: %v", scheme, err)
+		}
+		s.Release()
+		tr.Close()
+		if st := tr.Stats(); st.GC.Reclaimed != st.GC.Retired {
+			t.Fatalf("scheme %v: retired %d reclaimed %d", scheme, st.GC.Retired, st.GC.Reclaimed)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import "testing"
+
+// TestNonUniqueUpdate covers Session.Update under duplicate-key
+// semantics: it must replace the newest *visible* value, skipping values
+// deleted by newer chain records.
+func TestNonUniqueUpdate(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NonUnique = true
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	k := []byte("dup")
+	if s.Update(k, 1) {
+		t.Fatal("update of absent key succeeded")
+	}
+	for v := uint64(1); v <= 3; v++ {
+		s.Insert(k, v)
+	}
+	// The newest insert (3) is the first visible value; updating replaces
+	// exactly that pair.
+	if !s.Update(k, 30) {
+		t.Fatal("update failed")
+	}
+	got := s.Lookup(k, nil)
+	if len(got) != 3 || containsVal(got, 3) || !containsVal(got, 30) {
+		t.Fatalf("after update: %v", got)
+	}
+	// Delete the newest visible value; Update must now pick an older one.
+	if !s.Delete(k, 30) {
+		t.Fatal("delete failed")
+	}
+	if !s.Update(k, 99) {
+		t.Fatal("update after delete failed")
+	}
+	got = s.Lookup(k, nil)
+	if len(got) != 2 || !containsVal(got, 99) {
+		t.Fatalf("after second update: %v", got)
+	}
+	// Drain the key entirely; Update fails again.
+	for _, v := range got {
+		if !s.Delete(k, v) {
+			t.Fatalf("drain delete %d failed", v)
+		}
+	}
+	if s.Update(k, 1) {
+		t.Fatal("update of drained key succeeded")
+	}
+}
+
+// TestNonUniqueUpdateAcrossConsolidation repeats the dance with tiny
+// chains so the first-visible seek crosses consolidated base nodes and
+// (via the baseline path) merge-free replay in both algorithms.
+func TestNonUniqueUpdateAcrossConsolidation(t *testing.T) {
+	for _, fast := range []bool{true, false} {
+		opts := DefaultOptions()
+		opts.NonUnique = true
+		opts.FastConsolidate = fast
+		opts.LeafNodeSize = 16
+		opts.LeafChainLength = 3
+		tr := New(opts)
+		s := tr.NewSession()
+
+		k := []byte("hot")
+		for v := uint64(0); v < 50; v++ {
+			if !s.Insert(k, v) {
+				t.Fatalf("fast=%v: insert %d failed", fast, v)
+			}
+		}
+		// Interleave updates and deletes to stack update deltas.
+		for i := 0; i < 30; i++ {
+			if !s.Update(k, 1000+uint64(i)) {
+				t.Fatalf("fast=%v: update %d failed", fast, i)
+			}
+		}
+		got := s.Lookup(k, nil)
+		if len(got) != 50 {
+			t.Fatalf("fast=%v: %d values", fast, len(got))
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("fast=%v: %v", fast, err)
+		}
+		s.Release()
+		tr.Close()
+	}
+}
+
+// TestNonUniqueBaselineConsolidation forces the baseline (replay and
+// sort) consolidation for duplicate keys including the survives() paths
+// for pairs killed by deletes and re-inserted pairs.
+func TestNonUniqueBaselineConsolidation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NonUnique = true
+	opts.FastConsolidate = false
+	opts.LeafNodeSize = 64
+	opts.LeafChainLength = 4
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	k := []byte("x")
+	// Build base with values 0..9.
+	for v := uint64(0); v < 10; v++ {
+		s.Insert(k, v)
+	}
+	// Delete evens, re-insert 0 and 2, delete 2 again — all through
+	// multiple consolidation rounds.
+	for v := uint64(0); v < 10; v += 2 {
+		if !s.Delete(k, v) {
+			t.Fatalf("delete %d failed", v)
+		}
+	}
+	s.Insert(k, 0)
+	s.Insert(k, 2)
+	s.Delete(k, 2)
+	got := s.Lookup(k, nil)
+	want := map[uint64]bool{0: true, 1: true, 3: true, 5: true, 7: true, 9: true}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("unexpected value %d in %v", v, got)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestRange(t *testing.T) {
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+	for i := uint64(0); i < 1000; i++ {
+		s.Insert(key64(i*2), i)
+	}
+
+	var got []uint64
+	n := s.Range(key64(100), key64(120), func(k []byte, v uint64) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	want := []uint64{100, 102, 104, 106, 108, 110, 112, 114, 116, 118}
+	if n != len(want) || len(got) != len(want) {
+		t.Fatalf("range visited %d: %v", n, got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+
+	// Half-open: end key itself excluded even when present.
+	n = s.Range(key64(100), key64(102), func(k []byte, v uint64) bool { return true })
+	if n != 1 {
+		t.Fatalf("half-open range visited %d", n)
+	}
+
+	// nil end = +inf.
+	n = s.Range(key64(1990), nil, func(k []byte, v uint64) bool { return true })
+	if n != 5 {
+		t.Fatalf("open-ended range visited %d", n)
+	}
+
+	// Empty range.
+	n = s.Range(key64(101), key64(102), func(k []byte, v uint64) bool { return true })
+	if n != 0 {
+		t.Fatalf("empty range visited %d", n)
+	}
+
+	// Early termination.
+	calls := 0
+	s.Range(key64(0), nil, func(k []byte, v uint64) bool {
+		calls++
+		return calls < 4
+	})
+	if calls != 4 {
+		t.Fatalf("early-exit range made %d calls", calls)
+	}
+}

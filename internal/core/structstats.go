@@ -1,0 +1,78 @@
+package core
+
+// StructureStats summarizes the tree's physical shape: average delta chain
+// lengths, base node sizes, and pre-allocation utilization — the
+// quantities reported in Table 2 of the paper (IDCL, LDCL, INS, LNS, IPU,
+// LPU). Collect with Tree.StructureStats on a quiescent tree.
+type StructureStats struct {
+	InnerNodes int
+	LeafNodes  int
+	Height     int
+
+	AvgInnerChainLen float64 // IDCL
+	AvgLeafChainLen  float64 // LDCL
+	AvgInnerNodeSize float64 // INS (separator items per inner base)
+	AvgLeafNodeSize  float64 // LNS (key-value items per leaf base)
+	InnerPreallocUse float64 // IPU (fraction of slab slots claimed)
+	LeafPreallocUse  float64 // LPU
+}
+
+// StructureStats walks the tree and aggregates shape statistics.
+// Quiescent use only.
+func (t *Tree) StructureStats() StructureStats {
+	var st StructureStats
+	var innerChain, leafChain, innerSize, leafSize float64
+	var innerSlabUsed, innerSlabCap, leafSlabUsed, leafSlabCap float64
+	s := t.NewSession()
+	defer s.Release()
+
+	var walk func(id nodeID, depth int)
+	walk = func(id nodeID, depth int) {
+		head := t.load(id)
+		if head == nil {
+			return
+		}
+		if depth+1 > st.Height {
+			st.Height = depth + 1
+		}
+		base := head.base
+		if head.isLeaf {
+			st.LeafNodes++
+			leafChain += float64(head.depth)
+			leafSize += float64(len(base.keys))
+			if base.slab != nil {
+				leafSlabUsed += float64(base.slab.used())
+				leafSlabCap += float64(len(base.slab.slots))
+			}
+			return
+		}
+		st.InnerNodes++
+		innerChain += float64(head.depth)
+		innerSize += float64(len(base.keys))
+		if base.slab != nil {
+			innerSlabUsed += float64(base.slab.used())
+			innerSlabCap += float64(len(base.slab.slots))
+		}
+		c := s.collect(head)
+		for _, kid := range c.kids {
+			walk(kid, depth+1)
+		}
+	}
+	walk(t.root, 0)
+
+	if st.InnerNodes > 0 {
+		st.AvgInnerChainLen = innerChain / float64(st.InnerNodes)
+		st.AvgInnerNodeSize = innerSize / float64(st.InnerNodes)
+	}
+	if st.LeafNodes > 0 {
+		st.AvgLeafChainLen = leafChain / float64(st.LeafNodes)
+		st.AvgLeafNodeSize = leafSize / float64(st.LeafNodes)
+	}
+	if innerSlabCap > 0 {
+		st.InnerPreallocUse = innerSlabUsed / innerSlabCap
+	}
+	if leafSlabCap > 0 {
+		st.LeafPreallocUse = leafSlabUsed / leafSlabCap
+	}
+	return st
+}

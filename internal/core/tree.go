@@ -1,0 +1,271 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/epoch"
+	"repro/internal/mapping"
+)
+
+// Tree is a lock-free Bw-Tree mapping non-empty byte-string keys to uint64
+// values. All structural state lives behind the mapping table; every
+// mutation is published with a single compare-and-swap.
+//
+// Operations are performed through per-goroutine Sessions (NewSession).
+// The Tree itself is safe for concurrent use by any number of sessions.
+type Tree struct {
+	opts Options
+	mt   *mapping.Table[delta]
+	gc   epoch.GC
+	root nodeID
+
+	// leafSlabs/innerSlabs recycle pre-allocation slabs whose chains
+	// have drained from all epochs.
+	leafSlabs  slabPool
+	innerSlabs slabPool
+
+	mu       sync.Mutex // guards sessions registry (cold path)
+	sessions map[*Session]struct{}
+	closed   sessionStats // counters absorbed from released sessions
+}
+
+// getSlab returns a recycled or fresh slab for a new base node.
+func (t *Tree) getSlab(leaf bool) *slab {
+	if leaf {
+		return t.leafSlabs.get(t.opts.LeafChainLength)
+	}
+	return t.innerSlabs.get(t.opts.InnerChainLength)
+}
+
+// New returns an empty tree configured by opts. Per §2.1 of the paper the
+// initial tree is an inner base node holding one separator that refers to
+// an empty leaf base node.
+func New(opts Options) *Tree {
+	opts.sanitize()
+	t := &Tree{
+		opts:     opts,
+		mt:       mapping.New[delta](1 << 16),
+		sessions: make(map[*Session]struct{}),
+	}
+	switch opts.GC {
+	case GCCentralized:
+		t.gc = epoch.NewCentralized(opts.GCInterval)
+	default:
+		t.gc = epoch.NewDecentralized(opts.GCInterval, opts.GCThreshold)
+	}
+
+	t.root = t.mt.Allocate()
+	leafID := t.mt.Allocate()
+	leaf := &delta{kind: kLeafBase, isLeaf: true, rightSib: invalidNode}
+	leaf.base = leaf
+	if opts.Preallocate {
+		leaf.slab = t.getSlab(true)
+	}
+	t.mt.Store(leafID, leaf)
+
+	root := &delta{
+		kind:     kInnerBase,
+		rightSib: invalidNode,
+		keys:     [][]byte{nil}, // -inf separator
+		kids:     []nodeID{leafID},
+		size:     1,
+	}
+	root.base = root
+	if opts.Preallocate {
+		root.slab = t.getSlab(false)
+	}
+	t.mt.Store(t.root, root)
+	return t
+}
+
+// Options returns the configuration the tree was built with.
+func (t *Tree) Options() Options { return t.opts }
+
+// Close stops the tree's background GC goroutine and releases every
+// remaining session. The caller must guarantee no operation is in flight.
+func (t *Tree) Close() {
+	t.mu.Lock()
+	ss := make([]*Session, 0, len(t.sessions))
+	for s := range t.sessions {
+		ss = append(ss, s)
+	}
+	t.mu.Unlock()
+	for _, s := range ss {
+		s.Release()
+	}
+	t.gc.Close()
+}
+
+// load resolves a logical node ID to its current chain head.
+func (t *Tree) load(id nodeID) *delta { return t.mt.Load(id) }
+
+// casFailHook, when non-nil, is consulted before every mapping-table
+// publication; returning true makes the CaS report failure without
+// executing. It exists so tests can deterministically drive the restart,
+// help-along, and SMO-retry paths that normally need a racing thread.
+var casFailHook func(id nodeID, old, new *delta) bool
+
+// cas publishes a new chain head for id. With UnsafeNoCAS (Fig. 18
+// decomposition) the compare and the store are performed non-atomically,
+// which is only valid single-threaded.
+func (t *Tree) cas(id nodeID, old, new *delta) bool {
+	if casFailHook != nil && casFailHook(id, old, new) {
+		return false
+	}
+	if t.opts.UnsafeNoCAS {
+		if t.mt.Load(id) != old {
+			return false
+		}
+		t.mt.Store(id, new)
+		return true
+	}
+	return t.mt.CompareAndSwap(id, old, new)
+}
+
+// Session is a single worker goroutine's handle to the tree. It bundles
+// the goroutine's epoch-GC handle, scratch buffers reused across
+// operations, and private statistics counters — the moral equivalent of
+// the thread-local state a DBMS worker thread would own (§2).
+//
+// A Session must not be used concurrently. Obtain one per goroutine.
+type Session struct {
+	t     *Tree
+	h     epoch.Handle
+	stats sessionStats
+
+	// Scratch space reused across operations to keep the hot path
+	// allocation-free.
+	present    []uint64
+	deleted    []uint64
+	scratch    []uint64
+	insScratch []effRec
+	delScratch []effRec
+	released   bool
+}
+
+// sessionStats are the per-worker counters behind Stats and Table 2.
+type sessionStats struct {
+	ops            uint64 // completed operations
+	aborts         uint64 // traversal restarts (failed CaS, ∆abort, ...)
+	consolidations uint64
+	splits         uint64
+	merges         uint64
+	slabFull       uint64 // pre-allocation slab exhaustion events
+	pointerChases  uint64 // delta-chain next-pointer dereferences
+	casFailures    uint64
+	leafSlabUsed   uint64 // slots claimed in retired leaf slabs
+	leafSlabCap    uint64 // slot capacity of retired leaf slabs
+	innerSlabUsed  uint64
+	innerSlabCap   uint64
+}
+
+func (a *sessionStats) add(b *sessionStats) {
+	a.ops += b.ops
+	a.aborts += b.aborts
+	a.consolidations += b.consolidations
+	a.splits += b.splits
+	a.merges += b.merges
+	a.slabFull += b.slabFull
+	a.pointerChases += b.pointerChases
+	a.casFailures += b.casFailures
+	a.leafSlabUsed += b.leafSlabUsed
+	a.leafSlabCap += b.leafSlabCap
+	a.innerSlabUsed += b.innerSlabUsed
+	a.innerSlabCap += b.innerSlabCap
+}
+
+// NewSession registers a worker goroutine with the tree.
+func (t *Tree) NewSession() *Session {
+	s := &Session{t: t, h: t.gc.Register()}
+	t.mu.Lock()
+	t.sessions[s] = struct{}{}
+	t.mu.Unlock()
+	return s
+}
+
+// Release unregisters the session, folding its counters into the tree.
+func (s *Session) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.t.mu.Lock()
+	delete(s.t.sessions, s)
+	s.t.closed.add(&s.stats)
+	s.t.mu.Unlock()
+	s.h.Unregister()
+}
+
+// Stats is a point-in-time aggregate of the tree's operation counters.
+// AbortRate matches Table 2 of the paper: aborts per completed operation
+// (it exceeds 1.0 under heavy contention).
+type Stats struct {
+	Ops            uint64
+	Aborts         uint64
+	Consolidations uint64
+	Splits         uint64
+	Merges         uint64
+	SlabFull       uint64
+	PointerChases  uint64
+	CASFailures    uint64
+	// LeafSlabUsed/Cap accumulate claimed slots and capacity of every
+	// retired leaf pre-allocation slab — the lifecycle LPU of Table 2.
+	LeafSlabUsed  uint64
+	LeafSlabCap   uint64
+	InnerSlabUsed uint64
+	InnerSlabCap  uint64
+	GC            epoch.Stats
+}
+
+// AbortRate returns aborts per completed operation.
+func (st Stats) AbortRate() float64 {
+	if st.Ops == 0 {
+		return 0
+	}
+	return float64(st.Aborts) / float64(st.Ops)
+}
+
+// LeafPreallocUtilization returns the fraction of pre-allocated leaf delta
+// slots that were actually claimed, measured over retired slabs (LPU).
+func (st Stats) LeafPreallocUtilization() float64 {
+	if st.LeafSlabCap == 0 {
+		return 0
+	}
+	return float64(st.LeafSlabUsed) / float64(st.LeafSlabCap)
+}
+
+// InnerPreallocUtilization is the inner-node counterpart (IPU).
+func (st Stats) InnerPreallocUtilization() float64 {
+	if st.InnerSlabCap == 0 {
+		return 0
+	}
+	return float64(st.InnerSlabUsed) / float64(st.InnerSlabCap)
+}
+
+// Stats aggregates counters across live and released sessions. Live
+// counters are read without synchronization; the result is approximate
+// while operations are in flight and exact once workers are quiescent.
+func (t *Tree) Stats() Stats {
+	var agg sessionStats
+	t.mu.Lock()
+	agg.add(&t.closed)
+	for s := range t.sessions {
+		agg.add(&s.stats)
+	}
+	t.mu.Unlock()
+	return Stats{
+		Ops:            agg.ops,
+		Aborts:         agg.aborts,
+		Consolidations: agg.consolidations,
+		Splits:         agg.splits,
+		Merges:         agg.merges,
+		SlabFull:       agg.slabFull,
+		PointerChases:  agg.pointerChases,
+		CASFailures:    agg.casFailures,
+		LeafSlabUsed:   agg.leafSlabUsed,
+		LeafSlabCap:    agg.leafSlabCap,
+		InnerSlabUsed:  agg.innerSlabUsed,
+		InnerSlabCap:   agg.innerSlabCap,
+		GC:             t.gc.Stats(),
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import "runtime"
+
+// abortBackoff records a traversal abort and, after a couple of
+// consecutive failures, yields the processor: the restart is usually
+// waiting on another goroutine's unfinished SMO (e.g. a ∆abort-locked
+// parent), and on hosts with few cores a tight restart loop can starve
+// the very goroutine it is waiting for.
+func (s *Session) abortBackoff(spins *int) {
+	s.stats.aborts++
+	*spins++
+	if *spins > 2 {
+		runtime.Gosched()
+	}
+}
+
+// cloneKey copies k so the tree never retains caller-owned memory.
+func cloneKey(k []byte) []byte { return append([]byte(nil), k...) }
+
+// checkKey panics on empty keys: the empty byte string is reserved as the
+// internal -inf sentinel.
+func checkKey(k []byte) {
+	if len(k) == 0 {
+		panic("core: keys must be non-empty")
+	}
+}
+
+// allocDelta returns a delta record for appending to head's chain: a slot
+// from the base node's pre-allocated slab when the Preallocate
+// optimization is on (§4.1), otherwise a heap allocation. nil means the
+// slab is exhausted and the caller must consolidate.
+func (s *Session) allocDelta(head *delta) *delta {
+	if sl := head.base.slab; sl != nil {
+		return sl.claim()
+	}
+	return &delta{}
+}
+
+// appendLeaf builds and publishes one leaf delta record. It returns false
+// when the operation must restart (lost CaS or exhausted slab).
+func (s *Session) appendLeaf(tr *traversal, k kind, key []byte, value, oldValue uint64, sizeDelta, off int32) bool {
+	head := tr.head
+	d := s.allocDelta(head)
+	if d == nil {
+		// Slab exhaustion triggers a consolidation (§4.1) and a restart.
+		s.stats.slabFull++
+		s.consolidate(tr, head)
+		return false
+	}
+	d.inheritFrom(head)
+	d.kind = k
+	d.key = cloneKey(key)
+	d.value = value
+	d.oldValue = oldValue
+	d.size = head.size + sizeDelta
+	d.offset = off
+	if !s.t.cas(tr.id, head, d) {
+		s.stats.casFailures++
+		return false
+	}
+	s.maybeConsolidateTr(tr, d)
+	return true
+}
+
+// Insert adds (key, value) to the tree. Under unique-key semantics it
+// returns false if the key is already present; under non-unique semantics
+// (Options.NonUnique) it returns false only if the exact pair is present.
+func (s *Session) Insert(key []byte, value uint64) bool {
+	checkKey(key)
+	s.h.Enter()
+	defer s.h.Exit()
+	spins := 0
+	for {
+		var tr traversal
+		if !s.descend(key, &tr) {
+			s.abortBackoff(&spins)
+			continue
+		}
+		if s.t.opts.InPlaceLeafUpdates {
+			ok, inserted := s.insertInPlace(&tr, key, value)
+			if ok {
+				s.stats.ops++
+				return inserted
+			}
+			s.stats.aborts++
+			continue
+		}
+		if s.t.opts.NonUnique {
+			r := s.leafSeekPair(tr.head, key, value)
+			if r.found {
+				s.stats.ops++
+				return false
+			}
+			if s.appendLeaf(&tr, kLeafInsert, key, value, 0, +1, r.baseOff) {
+				s.stats.ops++
+				return true
+			}
+		} else {
+			r := s.leafSeek(tr.head, key)
+			if r.found {
+				s.stats.ops++
+				return false
+			}
+			if s.appendLeaf(&tr, kLeafInsert, key, value, 0, +1, r.baseOff) {
+				s.stats.ops++
+				return true
+			}
+		}
+		s.abortBackoff(&spins)
+	}
+}
+
+// Delete removes key (unique mode) or the exact (key, value) pair
+// (non-unique mode), reporting whether anything was removed.
+func (s *Session) Delete(key []byte, value uint64) bool {
+	checkKey(key)
+	s.h.Enter()
+	defer s.h.Exit()
+	spins := 0
+	for {
+		var tr traversal
+		if !s.descend(key, &tr) {
+			s.abortBackoff(&spins)
+			continue
+		}
+		if s.t.opts.InPlaceLeafUpdates {
+			ok, deleted := s.deleteInPlace(&tr, key, value)
+			if ok {
+				s.stats.ops++
+				return deleted
+			}
+			s.stats.aborts++
+			continue
+		}
+		if s.t.opts.NonUnique {
+			r := s.leafSeekPair(tr.head, key, value)
+			if !r.found {
+				s.stats.ops++
+				return false
+			}
+			if s.appendLeaf(&tr, kLeafDelete, key, value, 0, -1, r.baseOff) {
+				s.stats.ops++
+				return true
+			}
+		} else {
+			r := s.leafSeek(tr.head, key)
+			if !r.found {
+				s.stats.ops++
+				return false
+			}
+			if s.appendLeaf(&tr, kLeafDelete, key, r.value, 0, -1, r.baseOff) {
+				s.stats.ops++
+				return true
+			}
+		}
+		s.abortBackoff(&spins)
+	}
+}
+
+// Update replaces the value stored under key (unique mode) and reports
+// whether the key was present. In non-unique mode it replaces the pair
+// (key, oldValue) for the first visible value; use UpdateValue for an
+// explicit pair.
+func (s *Session) Update(key []byte, value uint64) bool {
+	checkKey(key)
+	s.h.Enter()
+	defer s.h.Exit()
+	spins := 0
+	for {
+		var tr traversal
+		if !s.descend(key, &tr) {
+			s.abortBackoff(&spins)
+			continue
+		}
+		var old uint64
+		var off int32
+		if s.t.opts.NonUnique {
+			r := s.leafSeekFirstVisible(tr.head, key)
+			if !r.found {
+				s.stats.ops++
+				return false
+			}
+			old, off = r.value, r.baseOff
+		} else {
+			r := s.leafSeek(tr.head, key)
+			if !r.found {
+				s.stats.ops++
+				return false
+			}
+			old, off = r.value, r.baseOff
+		}
+		if old == value {
+			s.stats.ops++
+			return true
+		}
+		if s.appendLeaf(&tr, kLeafUpdate, key, value, old, 0, off) {
+			s.stats.ops++
+			return true
+		}
+		s.abortBackoff(&spins)
+	}
+}
+
+// UpdateValue replaces the exact pair (key, oldValue) with (key, newValue)
+// under non-unique semantics, reporting whether the old pair was visible.
+func (s *Session) UpdateValue(key []byte, oldValue, newValue uint64) bool {
+	checkKey(key)
+	s.h.Enter()
+	defer s.h.Exit()
+	spins := 0
+	for {
+		var tr traversal
+		if !s.descend(key, &tr) {
+			s.abortBackoff(&spins)
+			continue
+		}
+		r := s.leafSeekPair(tr.head, key, oldValue)
+		if !r.found {
+			s.stats.ops++
+			return false
+		}
+		if oldValue == newValue {
+			s.stats.ops++
+			return true
+		}
+		if nr := s.leafSeekPair(tr.head, key, newValue); nr.found {
+			// The target pair already exists: reduce to a delete of the
+			// old pair.
+			if s.appendLeaf(&tr, kLeafDelete, key, oldValue, 0, -1, r.baseOff) {
+				s.stats.ops++
+				return true
+			}
+		} else if s.appendLeaf(&tr, kLeafUpdate, key, newValue, oldValue, 0, r.baseOff) {
+			s.stats.ops++
+			return true
+		}
+		s.abortBackoff(&spins)
+	}
+}
+
+// Lookup appends every value stored under key to out and returns the
+// extended slice. Unique mode appends at most one value.
+func (s *Session) Lookup(key []byte, out []uint64) []uint64 {
+	checkKey(key)
+	s.h.Enter()
+	defer s.h.Exit()
+	spins := 0
+	for {
+		var tr traversal
+		if !s.descend(key, &tr) {
+			s.abortBackoff(&spins)
+			continue
+		}
+		s.stats.ops++
+		if s.t.opts.NonUnique {
+			out, _ = s.collectValues(tr.head, key, out)
+			return out
+		}
+		r := s.leafSeek(tr.head, key)
+		if r.found {
+			return append(out, r.value)
+		}
+		return out
+	}
+}
+
+// insertInPlace mutates the leaf base node directly — the Fig. 18
+// "disable delta updates" decomposition. Single-threaded use only.
+func (s *Session) insertInPlace(tr *traversal, key []byte, value uint64) (ok, inserted bool) {
+	head := tr.head
+	if head.kind != kLeafBase {
+		// A split delta may briefly top the chain; consolidate and retry.
+		s.consolidate(tr, head)
+		return false, false
+	}
+	pos, exact := searchKeys(head.keys, key)
+	if exact && !s.t.opts.NonUnique {
+		return true, false
+	}
+	head.keys = append(head.keys, nil)
+	copy(head.keys[pos+1:], head.keys[pos:])
+	head.keys[pos] = cloneKey(key)
+	head.vals = append(head.vals, 0)
+	copy(head.vals[pos+1:], head.vals[pos:])
+	head.vals[pos] = value
+	head.size++
+	if int(head.size) > s.t.opts.LeafNodeSize {
+		s.consolidate(tr, head)
+	}
+	return true, true
+}
+
+// deleteInPlace is the removal counterpart of insertInPlace.
+func (s *Session) deleteInPlace(tr *traversal, key []byte, value uint64) (ok, deleted bool) {
+	head := tr.head
+	if head.kind != kLeafBase {
+		s.consolidate(tr, head)
+		return false, false
+	}
+	pos, exact := searchKeys(head.keys, key)
+	if !exact {
+		return true, false
+	}
+	head.keys = append(head.keys[:pos], head.keys[pos+1:]...)
+	head.vals = append(head.vals[:pos], head.vals[pos+1:]...)
+	head.size--
+	return true, true
+}

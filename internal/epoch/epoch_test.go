@@ -1,0 +1,161 @@
+package epoch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func gcs(t *testing.T) map[string]func() GC {
+	return map[string]func() GC{
+		"centralized":   func() GC { return NewCentralized(time.Millisecond) },
+		"decentralized": func() GC { return NewDecentralized(time.Millisecond, 16) },
+	}
+}
+
+func TestRetireReclaim(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			var freed atomic.Int64
+			h := gc.Register()
+			for i := 0; i < 100; i++ {
+				h.Enter()
+				h.Retire(func() { freed.Add(1) })
+				h.Exit()
+			}
+			h.Unregister()
+			gc.Close()
+			if got := freed.Load(); got != 100 {
+				t.Fatalf("freed %d of 100", got)
+			}
+			st := gc.Stats()
+			if st.Retired != 100 || st.Reclaimed != 100 {
+				t.Fatalf("stats %+v", st)
+			}
+		})
+	}
+}
+
+// TestNoEarlyReclaim is the central safety property: an object retired
+// while another worker is inside a critical section that began before the
+// retire must not be reclaimed until that worker exits.
+func TestNoEarlyReclaim(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			defer gc.Close()
+
+			reader := gc.Register()
+			writer := gc.Register()
+
+			reader.Enter() // reader pins the current epoch
+
+			var freed atomic.Bool
+			writer.Enter()
+			writer.Retire(func() { freed.Store(true) })
+			writer.Exit()
+
+			// Give the background epoch plenty of chances to advance and
+			// the writer plenty of reclamation attempts.
+			for i := 0; i < 50; i++ {
+				time.Sleep(2 * time.Millisecond)
+				writer.Enter()
+				writer.Exit()
+				if freed.Load() {
+					t.Fatal("object reclaimed while reader held its epoch")
+				}
+			}
+
+			reader.Exit()
+			deadline := time.Now().Add(5 * time.Second)
+			for !freed.Load() && time.Now().Before(deadline) {
+				writer.Enter()
+				writer.Retire(func() {}) // churn to trigger reclamation
+				writer.Exit()
+				time.Sleep(2 * time.Millisecond)
+			}
+			if !freed.Load() {
+				t.Fatal("object never reclaimed after reader exit")
+			}
+			reader.Unregister()
+			writer.Unregister()
+		})
+	}
+}
+
+func TestUnregisterHandsOffGarbage(t *testing.T) {
+	gc := NewDecentralized(time.Millisecond, 1<<30) // never self-reclaims
+	var freed atomic.Int64
+	h := gc.Register()
+	h.Enter()
+	for i := 0; i < 10; i++ {
+		h.Retire(func() { freed.Add(1) })
+	}
+	h.Exit()
+	h.Unregister()
+	// The background goroutine adopts and reclaims the orphans.
+	deadline := time.Now().Add(5 * time.Second)
+	for freed.Load() != 10 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if freed.Load() != 10 {
+		t.Fatalf("orphans reclaimed: %d of 10", freed.Load())
+	}
+	gc.Close()
+}
+
+func TestConcurrentChurn(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			var retired, freed atomic.Int64
+			nw := runtime.GOMAXPROCS(0) * 2
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					h := gc.Register()
+					defer h.Unregister()
+					for i := 0; i < 5000; i++ {
+						h.Enter()
+						retired.Add(1)
+						h.Retire(func() { freed.Add(1) })
+						h.Exit()
+					}
+				}()
+			}
+			wg.Wait()
+			gc.Close()
+			if retired.Load() != freed.Load() {
+				t.Fatalf("retired %d, freed %d", retired.Load(), freed.Load())
+			}
+		})
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			gc.Close()
+			gc.Close()
+		})
+	}
+}
+
+func TestStatsAdvance(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			defer gc.Close()
+			time.Sleep(20 * time.Millisecond)
+			if gc.Stats().Advances == 0 {
+				t.Fatal("epoch never advanced")
+			}
+		})
+	}
+}

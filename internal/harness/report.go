@@ -1,0 +1,108 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table renders aligned text tables in the style of the paper's figures:
+// one row per configuration, one column per index or variant.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    []tableRow
+	notes   []string
+}
+
+type tableRow struct {
+	label string
+	cells []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row of formatted cells.
+func (t *Table) AddRow(label string, cells ...string) {
+	t.rows = append(t.rows, tableRow{label: label, cells: cells})
+}
+
+// AddFloats appends a row of numeric cells rendered with %.3f.
+func (t *Table) AddFloats(label string, vals ...float64) {
+	cells := make([]string, len(vals))
+	for i, v := range vals {
+		cells[i] = fmt.Sprintf("%.3f", v)
+	}
+	t.AddRow(label, cells...)
+}
+
+// Note appends a footnote printed under the table.
+func (t *Table) Note(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("=", len(t.Title)))
+	b.WriteByte('\n')
+
+	widths := make([]int, len(t.Columns)+1)
+	for _, r := range t.rows {
+		if len(r.label) > widths[0] {
+			widths[0] = len(r.label)
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r.cells {
+			if i+1 < len(widths) && len(c) > widths[i+1] {
+				widths[i+1] = len(c)
+			}
+		}
+	}
+
+	writeCells := func(label string, cells []string) {
+		fmt.Fprintf(&b, "%-*s", widths[0], label)
+		for i, c := range cells {
+			w := 12
+			if i+1 < len(widths) {
+				w = widths[i+1]
+			}
+			fmt.Fprintf(&b, "  %*s", w, c)
+		}
+		b.WriteByte('\n')
+	}
+	writeCells("", t.Columns)
+	total := widths[0]
+	for _, w := range widths[1:] {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeCells(r.label, r.cells)
+	}
+	for _, n := range t.notes {
+		b.WriteString("  * ")
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_, _ = t.WriteTo(&b)
+	return b.String()
+}

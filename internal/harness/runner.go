@@ -1,0 +1,174 @@
+// Package harness drives the paper's experiments: it fans workloads out
+// over worker goroutines, measures throughput and memory, and renders the
+// text tables and series that mirror every figure and table of the
+// evaluation (§5, §6).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/ycsb"
+)
+
+// Config describes one benchmark run.
+type Config struct {
+	Workload ycsb.Workload
+	KeyType  ycsb.KeyType
+	// Keys is the load-phase population size.
+	Keys int
+	// Ops is the total run-phase operation count (ignored for
+	// Insert-only, whose op count equals Keys).
+	Ops int
+	// Threads is the worker goroutine count.
+	Threads int
+	// Seed makes runs reproducible.
+	Seed uint64
+	// MeasureMemory enables live-heap measurement (forces GC twice).
+	MeasureMemory bool
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Index    string
+	Workload ycsb.Workload
+	KeyType  ycsb.KeyType
+	Threads  int
+
+	// LoadMops is the Insert-only (population) throughput in Mops/s.
+	LoadMops float64
+	// RunMops is the run-phase throughput in Mops/s. For Insert-only
+	// configs it equals LoadMops.
+	RunMops float64
+	// Bytes is the live-heap delta attributable to the index, when
+	// MeasureMemory is set.
+	Bytes uint64
+	// Ops is the number of operations the run phase completed.
+	Ops int
+}
+
+// Run executes one benchmark: build the index with mk, load the
+// population (timed), then run the workload mix (timed).
+func Run(mk func() index.Index, cfg Config) Result {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	var before runtime.MemStats
+	if cfg.MeasureMemory {
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+	}
+	idx := mk()
+	defer idx.Close()
+
+	res := Result{
+		Index:    idx.Name(),
+		Workload: cfg.Workload,
+		KeyType:  cfg.KeyType,
+		Threads:  cfg.Threads,
+	}
+
+	ks := ycsb.NewKeySet(cfg.KeyType, cfg.Keys)
+
+	// Load phase: the whole population via Insert-only streams.
+	loadOps := cfg.Keys
+	if cfg.Workload == ycsb.InsertOnly && cfg.KeyType == ycsb.MonoHC {
+		// HC keys are generated on the fly; load nothing.
+		loadOps = 0
+	}
+	if loadOps > 0 {
+		dur := RunPhase(idx, ks, ycsb.InsertOnly, loadOps, cfg.Threads, cfg.Seed)
+		res.LoadMops = mops(loadOps, dur)
+	}
+
+	if cfg.Workload == ycsb.InsertOnly {
+		if loadOps == 0 {
+			// Mono-HC Insert-only: the run phase does the inserting.
+			dur := RunPhase(idx, ks, ycsb.InsertOnly, cfg.Ops, cfg.Threads, cfg.Seed)
+			res.RunMops = mops(cfg.Ops, dur)
+			res.Ops = cfg.Ops
+		} else {
+			res.RunMops = res.LoadMops
+			res.Ops = loadOps
+		}
+	} else {
+		dur := RunPhase(idx, ks, cfg.Workload, cfg.Ops, cfg.Threads, cfg.Seed+1)
+		res.RunMops = mops(cfg.Ops, dur)
+		res.Ops = cfg.Ops
+	}
+
+	if cfg.MeasureMemory {
+		var after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		if after.HeapAlloc > before.HeapAlloc {
+			res.Bytes = after.HeapAlloc - before.HeapAlloc
+		}
+	}
+	return res
+}
+
+func mops(ops int, dur time.Duration) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(ops) / dur.Seconds() / 1e6
+}
+
+// RunPhase executes ops operations of workload w across threads workers
+// and returns the wall-clock duration.
+func RunPhase(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads int, seed uint64) time.Duration {
+	perWorker := ops / threads
+	extra := ops % threads
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		n := perWorker
+		if t < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(worker, n int) {
+			defer wg.Done()
+			s := idx.NewSession()
+			defer s.Release()
+			stream := ycsb.NewStream(w, ks, worker, seed+uint64(worker)*0x9E37)
+			var out []uint64
+			for i := 0; i < n; i++ {
+				op := stream.Next()
+				switch op.Kind {
+				case ycsb.OpRead:
+					out = s.Lookup(op.Key, out[:0])
+				case ycsb.OpUpdate:
+					s.Update(op.Key, op.Value)
+				case ycsb.OpInsert:
+					s.Insert(op.Key, op.Value)
+				case ycsb.OpScan:
+					s.Scan(op.Key, op.ScanLen, visitNop)
+				}
+			}
+		}(t, n)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func visitNop(k []byte, v uint64) bool { return true }
+
+// Preload builds an index and loads the population, returning the loaded
+// index for experiments that need custom measurement phases.
+func Preload(mk func() index.Index, kt ycsb.KeyType, keys, threads int, seed uint64) (index.Index, *ycsb.KeySet) {
+	idx := mk()
+	ks := ycsb.NewKeySet(kt, keys)
+	RunPhase(idx, ks, ycsb.InsertOnly, keys, threads, seed)
+	return idx, ks
+}
+
+// FormatBytes renders a byte count as GB with two decimals (the unit of
+// Fig. 15).
+func FormatBytes(b uint64) string {
+	return fmt.Sprintf("%.2f GB", float64(b)/(1<<30))
+}

@@ -1,0 +1,154 @@
+package index
+
+import (
+	"time"
+
+	"repro/internal/art"
+	"repro/internal/btree"
+	"repro/internal/core"
+	"repro/internal/masstree"
+	"repro/internal/skiplist"
+)
+
+// NewOpenBwTree wraps the OpenBw-Tree (all optimizations on).
+func NewOpenBwTree() Index { return NewBwTreeWith("OpenBwTree", core.DefaultOptions()) }
+
+// NewBaselineBwTree wraps the "good-faith original Bw-Tree" configuration.
+func NewBaselineBwTree() Index { return NewBwTreeWith("BwTree", core.BaselineOptions()) }
+
+// NewBwTreeWith wraps a Bw-Tree with explicit options under the given
+// report name.
+func NewBwTreeWith(name string, opts core.Options) Index {
+	return &bwAdapter{name: name, t: core.New(opts)}
+}
+
+// BwBacked is implemented by indexes backed by the Bw-Tree, exposing the
+// underlying tree for statistics collection and decomposition hooks.
+type BwBacked interface {
+	Tree() *core.Tree
+}
+
+type bwAdapter struct {
+	name string
+	t    *core.Tree
+}
+
+// Tree exposes the underlying tree for statistics collection.
+func (a *bwAdapter) Tree() *core.Tree    { return a.t }
+func (a *bwAdapter) Name() string        { return a.name }
+func (a *bwAdapter) Close()              { a.t.Close() }
+func (a *bwAdapter) NewSession() Session { return &bwSession{s: a.t.NewSession()} }
+
+type bwSession struct{ s *core.Session }
+
+func (s *bwSession) Insert(key []byte, value uint64) bool { return s.s.Insert(key, value) }
+func (s *bwSession) Delete(key []byte, value uint64) bool { return s.s.Delete(key, value) }
+func (s *bwSession) Update(key []byte, value uint64) bool { return s.s.Update(key, value) }
+func (s *bwSession) Lookup(key []byte, out []uint64) []uint64 {
+	return s.s.Lookup(key, out)
+}
+func (s *bwSession) Scan(start []byte, n int, visit func([]byte, uint64) bool) int {
+	return s.s.Scan(start, n, visit)
+}
+func (s *bwSession) Release() { s.s.Release() }
+
+// stateless adapts indexes whose operations need no per-goroutine state.
+type stateless struct {
+	name   string
+	insert func(key []byte, value uint64) bool
+	delete func(key []byte) bool
+	update func(key []byte, value uint64) bool
+	lookup func(key []byte) (uint64, bool)
+	scan   func(start []byte, n int, visit func([]byte, uint64) bool) int
+	close  func()
+}
+
+func (a *stateless) Name() string        { return a.name }
+func (a *stateless) NewSession() Session { return (*statelessSession)(a) }
+func (a *stateless) Close() {
+	if a.close != nil {
+		a.close()
+	}
+}
+
+type statelessSession stateless
+
+func (s *statelessSession) Insert(key []byte, value uint64) bool { return s.insert(key, value) }
+func (s *statelessSession) Delete(key []byte, _ uint64) bool     { return s.delete(key) }
+func (s *statelessSession) Update(key []byte, value uint64) bool { return s.update(key, value) }
+func (s *statelessSession) Lookup(key []byte, out []uint64) []uint64 {
+	if v, ok := s.lookup(key); ok {
+		return append(out, v)
+	}
+	return out
+}
+func (s *statelessSession) Scan(start []byte, n int, visit func([]byte, uint64) bool) int {
+	return s.scan(start, n, visit)
+}
+func (s *statelessSession) Release() {}
+
+// NewBTree wraps the B+Tree with optimistic lock coupling (4KB nodes).
+func NewBTree() Index {
+	t := btree.New(0)
+	return &stateless{
+		name:   "B+Tree",
+		insert: t.Insert,
+		delete: t.Delete,
+		update: t.Update,
+		lookup: t.Lookup,
+		scan:   t.Scan,
+	}
+}
+
+// NewART wraps the Adaptive Radix Tree with optimistic lock coupling.
+func NewART() Index {
+	t := art.New()
+	return &stateless{
+		name:   "ART",
+		insert: t.Insert,
+		delete: t.Delete,
+		update: t.Update,
+		lookup: t.Lookup,
+		scan:   t.Scan,
+	}
+}
+
+// NewSkipList wraps the lock-free "No Hot Spot" skip list.
+func NewSkipList() Index {
+	l := skiplist.New(40*time.Millisecond, 32)
+	return &stateless{
+		name:   "SkipList",
+		insert: l.Insert,
+		delete: l.Delete,
+		update: l.Update,
+		lookup: l.Lookup,
+		scan:   l.Scan,
+		close:  l.Close,
+	}
+}
+
+// NewMasstree wraps the trie-of-B+trees Masstree.
+func NewMasstree() Index {
+	t := masstree.New()
+	return &stateless{
+		name:   "Masstree",
+		insert: t.Insert,
+		delete: t.Delete,
+		update: t.Update,
+		lookup: t.Lookup,
+		scan:   t.Scan,
+	}
+}
+
+// All returns constructors for every index in the paper's §6 comparison,
+// in the paper's presentation order.
+func All() []func() Index {
+	return []func() Index{
+		NewBaselineBwTree,
+		NewOpenBwTree,
+		NewSkipList,
+		NewMasstree,
+		NewBTree,
+		NewART,
+	}
+}

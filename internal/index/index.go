@@ -1,0 +1,67 @@
+// Package index defines the common interface implemented by every
+// in-memory index in this repository — the OpenBw-Tree, the baseline
+// Bw-Tree, the lock-free SkipList, Masstree, the B+Tree with optimistic
+// lock coupling, and ART — so the benchmark harness and the differential
+// test suite can drive them interchangeably.
+//
+// Keys are binary-comparable byte strings (integers must be big-endian
+// encoded; see EncodeUint64). Values are 64-bit integers representing
+// tuple pointers, exactly as in the paper's evaluation.
+package index
+
+import "encoding/binary"
+
+// Index is the operation set the paper's YCSB harness exercises.
+//
+// Implementations must be safe for concurrent use by multiple sessions.
+// Because several implementations (notably the Bw-Tree) require
+// thread-local state — epoch handles, scratch buffers — all operations go
+// through a Session obtained from NewSession. A Session must be used by at
+// most one goroutine at a time.
+type Index interface {
+	// NewSession returns a handle for one worker goroutine.
+	NewSession() Session
+	// Name identifies the index in reports, e.g. "OpenBwTree".
+	Name() string
+	// Close releases background resources (GC goroutines, helpers).
+	Close()
+}
+
+// Session is a per-worker view of an Index.
+type Session interface {
+	// Insert adds (key, value). For unique indexes it fails (returns
+	// false) if the key is present; for non-unique indexes it fails only
+	// if the exact (key, value) pair is present.
+	Insert(key []byte, value uint64) bool
+	// Delete removes (key, value), reporting whether it was present.
+	// Unique indexes ignore value and remove the key outright.
+	Delete(key []byte, value uint64) bool
+	// Lookup appends all values for key to out and returns the extended
+	// slice. A unique index appends at most one value.
+	Lookup(key []byte, out []uint64) []uint64
+	// Update replaces the value stored under key, reporting whether the
+	// key was present. Non-unique indexes replace the pair (key, old).
+	Update(key []byte, value uint64) bool
+	// Scan visits at most n pairs in ascending key order starting from
+	// the smallest key >= start, returning the number visited.
+	Scan(start []byte, n int, visit func(key []byte, value uint64) bool) int
+	// Release returns the session's resources. The session must not be
+	// used afterwards.
+	Release()
+}
+
+// EncodeUint64 writes v into an 8-byte big-endian buffer, the
+// binary-comparable form required by the trie-based indexes (§6 of the
+// paper: "keys must be preprocessed to have a totally ordered binary
+// form").
+func EncodeUint64(buf []byte, v uint64) []byte {
+	buf = buf[:0]
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(buf, b[:]...)
+}
+
+// DecodeUint64 is the inverse of EncodeUint64.
+func DecodeUint64(key []byte) uint64 {
+	return binary.BigEndian.Uint64(key)
+}

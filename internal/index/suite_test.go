@@ -1,0 +1,312 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func key64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// forEachIndex runs f against every index implementation.
+func forEachIndex(t *testing.T, f func(t *testing.T, idx Index)) {
+	for _, mk := range All() {
+		idx := mk()
+		t.Run(idx.Name(), func(t *testing.T) {
+			defer idx.Close()
+			f(t, idx)
+		})
+	}
+}
+
+func TestSuiteInsertLookup(t *testing.T) {
+	forEachIndex(t, func(t *testing.T, idx Index) {
+		s := idx.NewSession()
+		defer s.Release()
+		const n = 10000
+		for i := uint64(0); i < n; i++ {
+			if !s.Insert(key64(i*3), i) {
+				t.Fatalf("insert %d failed", i)
+			}
+		}
+		for i := uint64(0); i < n; i++ {
+			got := s.Lookup(key64(i*3), nil)
+			if len(got) != 1 || got[0] != i {
+				t.Fatalf("lookup %d: %v", i*3, got)
+			}
+			if got := s.Lookup(key64(i*3+1), nil); len(got) != 0 {
+				t.Fatalf("phantom key %d: %v", i*3+1, got)
+			}
+		}
+		if s.Insert(key64(3), 99) {
+			t.Fatal("duplicate insert succeeded")
+		}
+	})
+}
+
+func TestSuiteDeleteUpdate(t *testing.T) {
+	forEachIndex(t, func(t *testing.T, idx Index) {
+		s := idx.NewSession()
+		defer s.Release()
+		const n = 5000
+		for i := uint64(0); i < n; i++ {
+			s.Insert(key64(i), i)
+		}
+		for i := uint64(0); i < n; i += 2 {
+			if !s.Delete(key64(i), 0) {
+				t.Fatalf("delete %d failed", i)
+			}
+		}
+		if s.Delete(key64(0), 0) {
+			t.Fatal("double delete succeeded")
+		}
+		for i := uint64(1); i < n; i += 2 {
+			if !s.Update(key64(i), i+7) {
+				t.Fatalf("update %d failed", i)
+			}
+		}
+		if s.Update(key64(0), 1) {
+			t.Fatal("update of deleted key succeeded")
+		}
+		for i := uint64(0); i < n; i++ {
+			got := s.Lookup(key64(i), nil)
+			if i%2 == 0 {
+				if len(got) != 0 {
+					t.Fatalf("deleted %d visible: %v", i, got)
+				}
+			} else if len(got) != 1 || got[0] != i+7 {
+				t.Fatalf("updated %d: %v", i, got)
+			}
+		}
+	})
+}
+
+func TestSuiteScan(t *testing.T) {
+	forEachIndex(t, func(t *testing.T, idx Index) {
+		s := idx.NewSession()
+		defer s.Release()
+		const n = 3000
+		perm := rand.New(rand.NewSource(5)).Perm(n)
+		for _, i := range perm {
+			s.Insert(key64(uint64(i)*2+10), uint64(i))
+		}
+		// Full ordered scan.
+		var keys []uint64
+		s.Scan(key64(0), n+100, func(k []byte, v uint64) bool {
+			keys = append(keys, binary.BigEndian.Uint64(k))
+			return true
+		})
+		if len(keys) != n {
+			t.Fatalf("scan visited %d items, want %d", len(keys), n)
+		}
+		for i, k := range keys {
+			if want := uint64(i)*2 + 10; k != want {
+				t.Fatalf("scan position %d: key %d want %d", i, k, want)
+			}
+		}
+		// Bounded scan from the middle, starting between keys.
+		var mid []uint64
+		got := s.Scan(key64(1001), 5, func(k []byte, v uint64) bool {
+			mid = append(mid, binary.BigEndian.Uint64(k))
+			return true
+		})
+		if got != 5 {
+			t.Fatalf("bounded scan visited %d", got)
+		}
+		for i, k := range mid {
+			if want := uint64(1002 + i*2); k != want {
+				t.Fatalf("bounded scan %d: key %d want %d", i, k, want)
+			}
+		}
+		// Early termination.
+		calls := 0
+		s.Scan(key64(0), 100, func(k []byte, v uint64) bool {
+			calls++
+			return calls < 3
+		})
+		if calls != 3 {
+			t.Fatalf("early-terminated scan made %d calls", calls)
+		}
+	})
+}
+
+func TestSuiteStringKeys(t *testing.T) {
+	forEachIndex(t, func(t *testing.T, idx Index) {
+		s := idx.NewSession()
+		defer s.Release()
+		var keys [][]byte
+		for i := 0; i < 3000; i++ {
+			keys = append(keys, []byte(fmt.Sprintf("user%07d@%03d.example.com", i*37%3000, i%50)))
+		}
+		for i, k := range keys {
+			if !s.Insert(k, uint64(i)) {
+				t.Fatalf("insert %q failed", k)
+			}
+		}
+		for i, k := range keys {
+			got := s.Lookup(k, nil)
+			if len(got) != 1 || got[0] != uint64(i) {
+				t.Fatalf("lookup %q: %v", k, got)
+			}
+		}
+		// Ordered scan must return sorted keys.
+		var prev []byte
+		s.Scan([]byte(" "), len(keys)+10, func(k []byte, v uint64) bool {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				t.Fatalf("scan order violated: %q then %q", prev, k)
+			}
+			prev = append(prev[:0], k...)
+			return true
+		})
+	})
+}
+
+func TestSuiteRandomModel(t *testing.T) {
+	forEachIndex(t, func(t *testing.T, idx Index) {
+		s := idx.NewSession()
+		defer s.Release()
+		rng := rand.New(rand.NewSource(99))
+		model := map[uint64]uint64{}
+		for i := 0; i < 30000; i++ {
+			k := uint64(rng.Intn(3000)) + 1
+			switch rng.Intn(4) {
+			case 0:
+				_, exists := model[k]
+				if got := s.Insert(key64(k), k); got == exists {
+					t.Fatalf("op %d: insert %d returned %v (exists=%v)", i, k, got, exists)
+				}
+				if !exists {
+					model[k] = k
+				}
+			case 1:
+				_, exists := model[k]
+				if got := s.Delete(key64(k), 0); got != exists {
+					t.Fatalf("op %d: delete %d returned %v (exists=%v)", i, k, got, exists)
+				}
+				delete(model, k)
+			case 2:
+				_, exists := model[k]
+				v := uint64(rng.Int63())
+				if got := s.Update(key64(k), v); got != exists {
+					t.Fatalf("op %d: update %d returned %v (exists=%v)", i, k, got, exists)
+				}
+				if exists {
+					model[k] = v
+				}
+			default:
+				want, exists := model[k]
+				got := s.Lookup(key64(k), nil)
+				if exists != (len(got) == 1) || exists && got[0] != want {
+					t.Fatalf("op %d: lookup %d got %v want %d,%v", i, k, got, want, exists)
+				}
+			}
+		}
+	})
+}
+
+func TestSuiteConcurrent(t *testing.T) {
+	forEachIndex(t, func(t *testing.T, idx Index) {
+		nw := runtime.GOMAXPROCS(0)
+		const perWorker = 10000
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := idx.NewSession()
+				defer s.Release()
+				base := uint64(w) * perWorker
+				for i := uint64(0); i < perWorker; i++ {
+					if !s.Insert(key64(base+i), base+i) {
+						t.Errorf("worker %d: insert %d failed", w, base+i)
+						return
+					}
+				}
+				for i := uint64(0); i < perWorker; i += 3 {
+					s.Delete(key64(base+i), 0)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		s := idx.NewSession()
+		defer s.Release()
+		for w := 0; w < nw; w++ {
+			base := uint64(w) * perWorker
+			for i := uint64(0); i < perWorker; i++ {
+				got := s.Lookup(key64(base+i), nil)
+				deleted := i%3 == 0
+				if deleted && len(got) != 0 {
+					t.Fatalf("deleted %d visible: %v", base+i, got)
+				}
+				if !deleted && (len(got) != 1 || got[0] != base+i) {
+					t.Fatalf("lookup %d: %v", base+i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestSuiteConcurrentContended(t *testing.T) {
+	forEachIndex(t, func(t *testing.T, idx Index) {
+		nw := runtime.GOMAXPROCS(0)
+		const keys = 5000
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s := idx.NewSession()
+				defer s.Release()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for i := 0; i < 20000; i++ {
+					k := uint64(rng.Intn(keys)) + 1
+					switch rng.Intn(4) {
+					case 0:
+						s.Insert(key64(k), k)
+					case 1:
+						s.Delete(key64(k), 0)
+					case 2:
+						s.Update(key64(k), k*2)
+					default:
+						got := s.Lookup(key64(k), nil)
+						if len(got) > 1 {
+							t.Errorf("key %d has %d values", k, len(got))
+							return
+						}
+						if len(got) == 1 && got[0] != k && got[0] != k*2 {
+							t.Errorf("key %d has foreign value %d", k, got[0])
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	})
+}
+
+func TestEncodeUint64(t *testing.T) {
+	var buf []byte
+	prev := []byte(nil)
+	for _, v := range []uint64{0, 1, 255, 256, 1 << 20, 1<<63 - 1, 1 << 63, ^uint64(0)} {
+		buf = EncodeUint64(nil, v)
+		if DecodeUint64(buf) != v {
+			t.Fatalf("roundtrip %d", v)
+		}
+		if prev != nil && bytes.Compare(prev, buf) >= 0 {
+			t.Fatalf("order violated at %d", v)
+		}
+		prev = append([]byte(nil), buf...)
+	}
+}

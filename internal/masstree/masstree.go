@@ -1,0 +1,411 @@
+// Package masstree implements Masstree (Mao, Kohler, Morris, EuroSys
+// 2012): a trie of B+tree layers, each indexing one 8-byte slice of the
+// key. It is the lock-based trie/B+tree hybrid the paper compares against
+// (§6), where it serves as Silo's index.
+//
+// Layers are B+trees with small nodes (fanout 16, like Masstree's border
+// nodes) synchronized with per-node version locks: writers lock, readers
+// validate versions — the same protocol family Masstree uses (§7 of the
+// paper groups it with optimistic schemes). Node contents are immutable
+// copy-on-write snapshots, so validated readers never see torn state.
+//
+// A key is consumed 8 bytes per layer. A slice is encoded as 9 bytes:
+// the chunk (zero-padded) plus its length, which makes variable-length
+// keys binary-comparable ("a" < "a\x00" < "a\x01"). An entry holds a
+// value (key ends in this layer), a sublayer (keys continue), or both.
+// Masstree's key-suffix optimization is omitted: long keys always build
+// layer chains (noted in DESIGN.md).
+package masstree
+
+import (
+	"bytes"
+	"sync/atomic"
+
+	"repro/internal/olc"
+)
+
+const fanout = 16
+
+// Tree is a concurrent Masstree. Create with New.
+type Tree struct {
+	root layer
+}
+
+// layer is one trie level: a small B+tree over 9-byte slice keys.
+type layer struct {
+	rootLock olc.Lock
+	root     atomic.Pointer[mnode]
+}
+
+type mnode struct {
+	lock  olc.Lock
+	leaf  bool
+	items atomic.Pointer[mitems]
+}
+
+// mitems is an immutable node snapshot.
+type mitems struct {
+	keys [][]byte // 9-byte encoded slices
+	ents []entry  // leaves
+	kids []*mnode // inner: len(kids) == len(keys)+1
+}
+
+// entry is a border-node slot: a terminal value, a link to the next
+// layer, or both (a key ending here and longer keys sharing the chunk).
+type entry struct {
+	hasVal bool
+	val    uint64
+	sub    *layer
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	t := &Tree{}
+	t.root.init()
+	return t
+}
+
+func (l *layer) init() {
+	leaf := &mnode{leaf: true}
+	leaf.items.Store(&mitems{})
+	l.root.Store(leaf)
+}
+
+// encodeSlice returns the 9-byte encoding of key[depth:depth+8] and
+// whether the key extends beyond this slice.
+func encodeSlice(key []byte, depth int) (enc [9]byte, extends bool) {
+	rest := key[depth:]
+	n := len(rest)
+	if n > 8 {
+		n = 8
+		extends = true
+	}
+	copy(enc[:8], rest[:n])
+	enc[8] = byte(n)
+	return enc, extends
+}
+
+func upperBound(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes.Compare(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func lowerBound(keys [][]byte, key []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && bytes.Equal(keys[lo], key)
+}
+
+// Lookup returns the value stored under key.
+func (t *Tree) Lookup(key []byte) (uint64, bool) {
+	l := &t.root
+	depth := 0
+	for {
+		enc, extends := encodeSlice(key, depth)
+		e, found := l.get(enc[:])
+		if !found {
+			return 0, false
+		}
+		if !extends {
+			return e.val, e.hasVal
+		}
+		if e.sub == nil {
+			return 0, false
+		}
+		l = e.sub
+		depth += 8
+	}
+}
+
+// get optimistically reads the entry for an encoded slice.
+func (l *layer) get(enc []byte) (entry, bool) {
+restart:
+	n := l.root.Load()
+	v, ok := n.lock.ReadLock()
+	if !ok {
+		goto restart
+	}
+	for {
+		it := n.items.Load()
+		if n.leaf {
+			pos, exact := lowerBound(it.keys, enc)
+			var e entry
+			if exact {
+				e = it.ents[pos]
+			}
+			if !n.lock.ReadUnlock(v) {
+				goto restart
+			}
+			return e, exact
+		}
+		child := it.kids[upperBound(it.keys, enc)]
+		if !n.lock.Check(v) {
+			goto restart
+		}
+		cv, ok := child.lock.ReadLock()
+		if !ok {
+			goto restart
+		}
+		if !n.lock.ReadUnlock(v) {
+			goto restart
+		}
+		n, v = child, cv
+	}
+}
+
+// mutate applies f to the slot for enc under the leaf's write lock,
+// inserting the slot if absent. f receives the current entry (zero if
+// absent) and reports the new entry and whether to keep it; returning
+// keep=false deletes the slot. The bool result of mutate is f's ok.
+func (l *layer) mutate(enc []byte, f func(old entry, existed bool) (entry, bool, bool)) bool {
+	for {
+		done, ok := l.mutateOnce(enc, f)
+		if done {
+			return ok
+		}
+	}
+}
+
+func (l *layer) mutateOnce(enc []byte, f func(entry, bool) (entry, bool, bool)) (done, ok bool) {
+	root := l.root.Load()
+	v, lok := root.lock.ReadLock()
+	if !lok {
+		return false, false
+	}
+	if len(root.items.Load().keys) >= fanout {
+		l.splitRoot(root, v)
+		return false, false
+	}
+	n, nv := root, v
+	for !n.leaf {
+		it := n.items.Load()
+		child := it.kids[upperBound(it.keys, enc)]
+		if !n.lock.Check(nv) {
+			return false, false
+		}
+		cv, lok := child.lock.ReadLock()
+		if !lok {
+			return false, false
+		}
+		if len(child.items.Load().keys) >= fanout {
+			if !n.lock.Check(nv) {
+				return false, false
+			}
+			l.splitChild(n, nv, child, cv)
+			return false, false
+		}
+		n, nv = child, cv
+	}
+	it := n.items.Load()
+	pos, exact := lowerBound(it.keys, enc)
+	var old entry
+	if exact {
+		old = it.ents[pos]
+	}
+	ne, keep, fok := f(old, exact)
+	if exact && keep && ne == old {
+		// No change needed; just validate the read.
+		if !n.lock.ReadUnlock(nv) {
+			return false, false
+		}
+		return true, fok
+	}
+	if !exact && !keep {
+		if !n.lock.ReadUnlock(nv) {
+			return false, false
+		}
+		return true, fok
+	}
+	if !n.lock.Upgrade(nv) {
+		return false, false
+	}
+	nit := &mitems{}
+	switch {
+	case exact && keep: // replace
+		nit.keys = it.keys
+		nit.ents = append(append(append(make([]entry, 0, len(it.ents)), it.ents[:pos]...), ne), it.ents[pos+1:]...)
+	case exact && !keep: // delete
+		nit.keys = append(append(make([][]byte, 0, len(it.keys)-1), it.keys[:pos]...), it.keys[pos+1:]...)
+		nit.ents = append(append(make([]entry, 0, len(it.ents)-1), it.ents[:pos]...), it.ents[pos+1:]...)
+	default: // insert
+		nit.keys = append(append(append(make([][]byte, 0, len(it.keys)+1), it.keys[:pos]...), append([]byte(nil), enc...)), it.keys[pos:]...)
+		nit.ents = append(append(append(make([]entry, 0, len(it.ents)+1), it.ents[:pos]...), ne), it.ents[pos:]...)
+	}
+	n.items.Store(nit)
+	n.lock.WriteUnlock()
+	return true, fok
+}
+
+func (l *layer) splitRoot(root *mnode, v uint64) {
+	if !l.rootLock.WriteLock() {
+		return
+	}
+	defer l.rootLock.WriteUnlock()
+	if l.root.Load() != root {
+		return
+	}
+	if !root.lock.Upgrade(v) {
+		return
+	}
+	it := root.items.Load()
+	if len(it.keys) < fanout {
+		root.lock.WriteUnlock()
+		return
+	}
+	left, right, sep := splitItems(root, it)
+	newRoot := &mnode{}
+	newRoot.items.Store(&mitems{keys: [][]byte{sep}, kids: []*mnode{left, right}})
+	l.root.Store(newRoot)
+	root.lock.WriteUnlockObsolete()
+}
+
+func splitItems(n *mnode, it *mitems) (left, right *mnode, sep []byte) {
+	mid := len(it.keys) / 2
+	if n.leaf {
+		left = &mnode{leaf: true}
+		right = &mnode{leaf: true}
+		left.items.Store(&mitems{keys: it.keys[:mid:mid], ents: it.ents[:mid:mid]})
+		right.items.Store(&mitems{keys: it.keys[mid:], ents: it.ents[mid:]})
+		return left, right, it.keys[mid]
+	}
+	left = &mnode{}
+	right = &mnode{}
+	left.items.Store(&mitems{keys: it.keys[:mid:mid], kids: it.kids[: mid+1 : mid+1]})
+	right.items.Store(&mitems{keys: it.keys[mid+1:], kids: it.kids[mid+1:]})
+	return left, right, it.keys[mid]
+}
+
+func (l *layer) splitChild(parent *mnode, pv uint64, child *mnode, cv uint64) {
+	if !parent.lock.Upgrade(pv) {
+		return
+	}
+	defer parent.lock.WriteUnlock()
+	if !child.lock.Upgrade(cv) {
+		return
+	}
+	it := child.items.Load()
+	if len(it.keys) < fanout {
+		child.lock.WriteUnlock()
+		return
+	}
+	left, right, sep := splitItems(child, it)
+	pit := parent.items.Load()
+	ci := -1
+	for i, k := range pit.kids {
+		if k == child {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		child.lock.WriteUnlock()
+		return
+	}
+	pos := upperBound(pit.keys, sep)
+	nk := append(append(append(make([][]byte, 0, len(pit.keys)+1), pit.keys[:pos]...), sep), pit.keys[pos:]...)
+	nc := make([]*mnode, 0, len(pit.kids)+1)
+	nc = append(nc, pit.kids[:ci]...)
+	nc = append(nc, left, right)
+	nc = append(nc, pit.kids[ci+1:]...)
+	parent.items.Store(&mitems{keys: nk, kids: nc})
+	child.lock.WriteUnlockObsolete()
+}
+
+// Insert adds (key, value), failing if the key is present.
+func (t *Tree) Insert(key []byte, value uint64) bool {
+	l := &t.root
+	depth := 0
+	for {
+		enc, extends := encodeSlice(key, depth)
+		if !extends {
+			return l.mutate(enc[:], func(old entry, existed bool) (entry, bool, bool) {
+				if existed && old.hasVal {
+					return old, true, false // duplicate
+				}
+				old.hasVal = true
+				old.val = value
+				return old, true, true
+			})
+		}
+		var next *layer
+		l.mutate(enc[:], func(old entry, existed bool) (entry, bool, bool) {
+			if existed && old.sub != nil {
+				next = old.sub
+				return old, true, true
+			}
+			sub := &layer{}
+			sub.init()
+			old.sub = sub
+			next = sub
+			return old, true, true
+		})
+		l = next
+		depth += 8
+	}
+}
+
+// Update replaces key's value, reporting presence.
+func (t *Tree) Update(key []byte, value uint64) bool {
+	l := &t.root
+	depth := 0
+	for {
+		enc, extends := encodeSlice(key, depth)
+		if !extends {
+			return l.mutate(enc[:], func(old entry, existed bool) (entry, bool, bool) {
+				if !existed || !old.hasVal {
+					return old, existed, false
+				}
+				old.val = value
+				return old, true, true
+			})
+		}
+		e, found := l.get(enc[:])
+		if !found || e.sub == nil {
+			return false
+		}
+		l = e.sub
+		depth += 8
+	}
+}
+
+// Delete removes key, reporting whether it was present. Emptied sublayers
+// are left in place (they are rare and harmless; noted in DESIGN.md).
+func (t *Tree) Delete(key []byte) bool {
+	l := &t.root
+	depth := 0
+	for {
+		enc, extends := encodeSlice(key, depth)
+		if !extends {
+			return l.mutate(enc[:], func(old entry, existed bool) (entry, bool, bool) {
+				if !existed || !old.hasVal {
+					return old, existed, false
+				}
+				old.hasVal = false
+				old.val = 0
+				keep := old.sub != nil
+				return old, keep, true
+			})
+		}
+		e, found := l.get(enc[:])
+		if !found || e.sub == nil {
+			return false
+		}
+		l = e.sub
+		depth += 8
+	}
+}

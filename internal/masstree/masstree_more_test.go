@@ -1,0 +1,138 @@
+package masstree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestConcurrentMixedAcrossLayers churns 24-byte keys (3 layers deep)
+// from many goroutines; values must never leak across keys.
+func TestConcurrentMixedAcrossLayers(t *testing.T) {
+	tr := New()
+	nw := runtime.GOMAXPROCS(0) * 2
+	var wg sync.WaitGroup
+	mk := func(n uint64) []byte {
+		k := make([]byte, 24)
+		binary.BigEndian.PutUint64(k, n%37)     // few first-layer slots
+		binary.BigEndian.PutUint64(k[8:], n%53) // few second-layer slots
+		binary.BigEndian.PutUint64(k[16:], n)   // unique tail
+		return k
+	}
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 15000; i++ {
+				n := uint64(rng.Intn(4000))
+				k := mk(n)
+				switch rng.Intn(4) {
+				case 0:
+					tr.Insert(k, n)
+				case 1:
+					tr.Delete(k)
+				case 2:
+					tr.Update(k, n)
+				default:
+					if v, ok := tr.Lookup(k); ok && v != n {
+						t.Errorf("key %d has foreign value %d", n, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestScanWhileMutating checks scan ordering under concurrent writers.
+func TestScanWhileMutating(t *testing.T) {
+	tr := New()
+	for i := uint64(0); i < 20000; i += 2 {
+		tr.Insert(key64(i), i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		for !stop.Load() {
+			n := uint64(rng.Intn(10000))*2 + 1
+			if rng.Intn(2) == 0 {
+				tr.Insert(key64(n), n)
+			} else {
+				tr.Delete(key64(n))
+			}
+		}
+	}()
+	for round := 0; round < 10; round++ {
+		var prev int64 = -1
+		tr.Scan(key64(0), 5000, func(k []byte, v uint64) bool {
+			cur := int64(binary.BigEndian.Uint64(k))
+			if cur <= prev {
+				t.Errorf("scan order: %d after %d", cur, prev)
+				return false
+			}
+			prev = cur
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestLayerSplits fills one layer far past a single node's fanout so the
+// per-layer B+tree splits repeatedly, including root splits.
+func TestLayerSplits(t *testing.T) {
+	tr := New()
+	const n = 50000
+	for i := uint64(0); i < n; i++ {
+		if !tr.Insert(key64(i), i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	for i := uint64(0); i < n; i += 331 {
+		if v, ok := tr.Lookup(key64(i)); !ok || v != i {
+			t.Fatalf("lookup %d: %d %v", i, v, ok)
+		}
+	}
+	count := 0
+	tr.Scan(key64(0), n+10, func(k []byte, v uint64) bool { count++; return true })
+	if count != n {
+		t.Fatalf("scan count %d", count)
+	}
+}
+
+// TestValueAndSublayerSameSlot: a slot carrying both a terminal value and
+// a sublayer must keep both across deletes of either.
+func TestValueAndSublayerSameSlot(t *testing.T) {
+	tr := New()
+	exact := []byte("12345678")          // ends exactly at the chunk
+	longer := []byte("12345678ABCDEFGH") // continues into a sublayer
+	tr.Insert(exact, 1)
+	tr.Insert(longer, 2)
+
+	// Delete the longer key: the exact key must survive.
+	if !tr.Delete(longer) {
+		t.Fatal("delete longer failed")
+	}
+	if v, ok := tr.Lookup(exact); !ok || v != 1 {
+		t.Fatalf("exact lost: %d %v", v, ok)
+	}
+	// Re-insert and delete the exact key: the longer must survive.
+	tr.Insert(longer, 3)
+	if !tr.Delete(exact) {
+		t.Fatal("delete exact failed")
+	}
+	if v, ok := tr.Lookup(longer); !ok || v != 3 {
+		t.Fatalf("longer lost: %d %v", v, ok)
+	}
+}

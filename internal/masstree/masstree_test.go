@@ -1,0 +1,257 @@
+package masstree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func key64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func TestSliceEncodingOrder(t *testing.T) {
+	// The 9-byte encoding must preserve binary key order for tricky
+	// variable-length cases.
+	keys := [][]byte{
+		{'a'}, {'a', 0}, {'a', 0, 0}, {'a', 1}, {'a', 'b'}, {'b'},
+	}
+	var prev [9]byte
+	for i, k := range keys {
+		enc, _ := encodeSlice(k, 0)
+		if i > 0 && bytes.Compare(prev[:], enc[:]) >= 0 {
+			t.Fatalf("encoding order violated at %q", k)
+		}
+		prev = enc
+	}
+}
+
+func TestSingleLayerInts(t *testing.T) {
+	tr := New()
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		if !tr.Insert(key64(i*7), i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tr.Lookup(key64(i * 7))
+		if !ok || v != i {
+			t.Fatalf("lookup %d: %d %v", i*7, v, ok)
+		}
+		if _, ok := tr.Lookup(key64(i*7 + 1)); ok {
+			t.Fatalf("phantom %d", i*7+1)
+		}
+	}
+}
+
+func TestMultiLayerLongKeys(t *testing.T) {
+	tr := New()
+	// 32-byte keys sharing long prefixes force 4-layer chains.
+	var keys [][]byte
+	for i := 0; i < 5000; i++ {
+		k := make([]byte, 32)
+		copy(k, fmt.Sprintf("tenant-%04d/table-%02d/row-%06d", i%50, i%7, i))
+		keys = append(keys, k)
+	}
+	for i, k := range keys {
+		if !tr.Insert(k, uint64(i)) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := tr.Lookup(k); !ok || v != uint64(i) {
+			t.Fatalf("lookup %d: %d %v", i, v, ok)
+		}
+	}
+}
+
+func TestPrefixKeysCoexist(t *testing.T) {
+	tr := New()
+	// A key that is a strict prefix of another, ending exactly at a
+	// layer boundary (8 bytes) and mid-chunk.
+	ks := [][]byte{
+		[]byte("12345678"),          // exactly one chunk
+		[]byte("123456789abcdefg"),  // two chunks sharing the first
+		[]byte("1234"),              // partial chunk
+		[]byte("123456789abcdefgh"), // extends into a third layer
+	}
+	for i, k := range ks {
+		if !tr.Insert(k, uint64(i+1)) {
+			t.Fatalf("insert %q failed", k)
+		}
+	}
+	for i, k := range ks {
+		if v, ok := tr.Lookup(k); !ok || v != uint64(i+1) {
+			t.Fatalf("lookup %q: %d %v", k, v, ok)
+		}
+	}
+	// Delete the chunk-boundary key; the sublayer keys must survive.
+	if !tr.Delete(ks[0]) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := tr.Lookup(ks[0]); ok {
+		t.Fatal("deleted key visible")
+	}
+	if v, ok := tr.Lookup(ks[1]); !ok || v != 2 {
+		t.Fatalf("sublayer key lost: %d %v", v, ok)
+	}
+}
+
+func TestScanAcrossLayers(t *testing.T) {
+	tr := New()
+	keys := []string{
+		"a", "aaaaaaaa", "aaaaaaaab", "aaaaaaaabbbbbbbbc", "ab", "b",
+		"bbbbbbbbbbbbbbbbbbbbbbbb", "c",
+	}
+	for i, k := range keys {
+		tr.Insert([]byte(k), uint64(i))
+	}
+	var got []string
+	tr.Scan([]byte("a"), 100, func(k []byte, v uint64) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("scan: %v", got)
+	}
+	for i := range keys {
+		if got[i] != keys[i] {
+			t.Fatalf("scan[%d] = %q want %q", i, got[i], keys[i])
+		}
+	}
+	// Bounded scan from a mid key.
+	var mid []string
+	tr.Scan([]byte("aaaaaaaab"), 2, func(k []byte, v uint64) bool {
+		mid = append(mid, string(k))
+		return true
+	})
+	if len(mid) != 2 || mid[0] != "aaaaaaaab" || mid[1] != "aaaaaaaabbbbbbbbc" {
+		t.Fatalf("bounded scan: %v", mid)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	tr := New()
+	const n = 5000
+	for i := uint64(0); i < n; i++ {
+		tr.Insert(key64(i), i)
+	}
+	for i := uint64(0); i < n; i += 2 {
+		if !tr.Delete(key64(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := uint64(1); i < n; i += 2 {
+		if !tr.Update(key64(i), i*3) {
+			t.Fatalf("update %d failed", i)
+		}
+	}
+	if tr.Update(key64(0), 1) {
+		t.Fatal("update of deleted key succeeded")
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := tr.Lookup(key64(i))
+		if i%2 == 0 {
+			if ok {
+				t.Fatalf("deleted %d visible", i)
+			}
+		} else if !ok || v != i*3 {
+			t.Fatalf("lookup %d: %d %v", i, v, ok)
+		}
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	tr := New()
+	nw := runtime.GOMAXPROCS(0) * 2
+	const per = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * per
+			for i := uint64(0); i < per; i++ {
+				if !tr.Insert(key64(base+i), base+i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for k := uint64(0); k < uint64(nw*per); k++ {
+		if v, ok := tr.Lookup(key64(k)); !ok || v != k {
+			t.Fatalf("lookup %d: %d %v", k, v, ok)
+		}
+	}
+}
+
+func TestQuickStringModel(t *testing.T) {
+	tr := New()
+	model := map[string]uint64{}
+	f := func(raw []byte, v uint64, op uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		k := string(raw)
+		switch op % 3 {
+		case 0:
+			_, exists := model[k]
+			if tr.Insert([]byte(k), v) == exists {
+				return false
+			}
+			if !exists {
+				model[k] = v
+			}
+		case 1:
+			_, exists := model[k]
+			if tr.Delete([]byte(k)) != exists {
+				return false
+			}
+			delete(model, k)
+		default:
+			want, exists := model[k]
+			got, ok := tr.Lookup([]byte(k))
+			if ok != exists || ok && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+	// Scan agrees with the model.
+	count := 0
+	var prev []byte
+	tr.Scan([]byte{0}, len(model)+10, func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Errorf("scan order violated")
+			return false
+		}
+		prev = append(prev[:0], k...)
+		if want, ok := model[string(k)]; !ok || want != v {
+			t.Errorf("scan pair (%q,%d) not in model", k, v)
+			return false
+		}
+		count++
+		return true
+	})
+	if count != len(model) {
+		t.Fatalf("scan count %d, model %d", count, len(model))
+	}
+}

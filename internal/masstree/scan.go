@@ -1,0 +1,120 @@
+package masstree
+
+import "bytes"
+
+type scanState struct {
+	bound     []byte
+	inclusive bool
+	count     int
+	max       int
+	visit     func(key []byte, value uint64) bool
+	stop      bool
+}
+
+// Scan visits up to max items with key >= start in ascending key order.
+// Layers are walked depth-first; the 9-byte slice encoding makes per-layer
+// enc order equal to global key order. Contents are immutable snapshots,
+// so each node is validated once; interference restarts the scan from the
+// last emitted key.
+func (t *Tree) Scan(start []byte, max int, visit func(key []byte, value uint64) bool) int {
+	st := &scanState{bound: start, inclusive: true, max: max, visit: visit}
+	for {
+		if st.count >= st.max || st.stop {
+			return st.count
+		}
+		if t.scanLayer(&t.root, nil, st) {
+			return st.count
+		}
+	}
+}
+
+// scanLayer walks one layer under prefix. Returns false on validation
+// failure (restart from st.bound).
+func (t *Tree) scanLayer(l *layer, prefix []byte, st *scanState) bool {
+	// boundEnc is the encoded slice of the bound within this layer, when
+	// the bound is still relevant here (its prefix matches ours).
+	var boundEnc []byte
+	if len(st.bound) >= len(prefix) && bytes.Equal(st.bound[:len(prefix)], prefix) {
+		enc, _ := encodeSlice(st.bound, len(prefix))
+		boundEnc = append([]byte(nil), enc[:]...)
+	} else if bytes.Compare(st.bound, prefix) > 0 {
+		// The whole layer lies below the bound.
+		return true
+	}
+	return t.scanNode(l.root.Load(), prefix, boundEnc, st)
+}
+
+func (t *Tree) scanNode(n *mnode, prefix, boundEnc []byte, st *scanState) bool {
+	v, ok := n.lock.ReadLock()
+	if !ok {
+		return false
+	}
+	it := n.items.Load()
+	if !n.lock.Check(v) {
+		return false
+	}
+	if !n.leaf {
+		from := 0
+		if boundEnc != nil {
+			// Children left of the bound slice cannot contain it.
+			from, _ = lowerBound(it.keys, boundEnc)
+			// kids[i] covers keys < keys[i]; the child at `from` may
+			// still contain boundEnc.
+		}
+		for i := from; i < len(it.kids); i++ {
+			if !t.scanNode(it.kids[i], prefix, boundEnc, st) {
+				return false
+			}
+			if st.count >= st.max || st.stop {
+				return true
+			}
+		}
+		return true
+	}
+	from := 0
+	if boundEnc != nil {
+		from, _ = lowerBound(it.keys, boundEnc)
+		// The slot holding a full-8 chunk that is a strict prefix of the
+		// bound sorts BEFORE boundEnc but may hold the sublayer
+		// containing it; step back one slot to cover it.
+		if from > 0 {
+			from--
+		}
+	}
+	for i := from; i < len(it.keys); i++ {
+		enc := it.keys[i]
+		chunk := enc[:enc[8]]
+		key := append(append([]byte(nil), prefix...), chunk...)
+		e := it.ents[i]
+		if e.hasVal {
+			emit := true
+			cmp := bytes.Compare(key, st.bound)
+			if cmp < 0 || cmp == 0 && !st.inclusive {
+				emit = false
+			}
+			if emit {
+				st.count++
+				st.bound, st.inclusive = key, false
+				if !st.visit(key, e.val) {
+					st.stop = true
+				}
+				if st.count >= st.max || st.stop {
+					return true
+				}
+			}
+		}
+		if e.sub != nil {
+			// Prune sublayers wholly below the bound.
+			m := min(len(key), len(st.bound))
+			if bytes.Compare(key[:m], st.bound[:m]) >= 0 {
+				if !t.scanLayer(e.sub, key, st) {
+					return false
+				}
+				if st.count >= st.max || st.stop {
+					return true
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,93 @@
+// Package olc implements optimistic lock coupling (Leis et al., "The ART
+// of Practical Synchronization", DaMoN 2016) — the synchronization scheme
+// used by the paper's B+Tree, ART, and (in spirit) Masstree baselines.
+//
+// Every node carries a version lock: a 64-bit word whose low bits encode
+// lock and obsolete flags and whose high bits count versions. Readers
+// proceed without writing shared memory: they sample the version, do their
+// reads, and re-validate; a change means a writer interfered and the
+// operation restarts. Writers take the lock by CAS, bumping the version on
+// release so readers notice.
+package olc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// Lock is an optimistic version lock. The zero value is unlocked.
+type Lock struct {
+	// word layout: [version:62][obsolete:1][locked:1]
+	word atomic.Uint64
+}
+
+const (
+	lockedBit   = 1
+	obsoleteBit = 2
+	versionInc  = 4
+)
+
+// ReadLock samples the version for optimistic reading. ok is false when
+// the node is write-locked or obsolete, in which case the caller must
+// retry or restart.
+func (l *Lock) ReadLock() (version uint64, ok bool) {
+	v := l.word.Load()
+	if v&(lockedBit|obsoleteBit) != 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// ReadUnlock re-validates a read section started at version. A false
+// return means a writer interfered and everything read since ReadLock is
+// suspect.
+func (l *Lock) ReadUnlock(version uint64) bool {
+	return l.word.Load() == version
+}
+
+// Check is ReadUnlock without ending the section: an intermediate
+// validation used before acting on possibly-torn reads.
+func (l *Lock) Check(version uint64) bool {
+	return l.word.Load() == version
+}
+
+// Upgrade atomically converts a read section into a write lock. It fails
+// if any writer has interfered since version was sampled.
+func (l *Lock) Upgrade(version uint64) bool {
+	return l.word.CompareAndSwap(version, version+lockedBit)
+}
+
+// WriteLock acquires the lock, spinning while other writers hold it. ok
+// is false when the node became obsolete (caller must restart from the
+// root).
+func (l *Lock) WriteLock() bool {
+	for spins := 0; ; spins++ {
+		v := l.word.Load()
+		if v&obsoleteBit != 0 {
+			return false
+		}
+		if v&lockedBit == 0 {
+			if l.word.CompareAndSwap(v, v+lockedBit) {
+				return true
+			}
+		}
+		if spins%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// WriteUnlock releases the lock, bumping the version.
+func (l *Lock) WriteUnlock() {
+	// locked -> unlocked with version+1: add (versionInc - lockedBit).
+	l.word.Add(versionInc - lockedBit)
+}
+
+// WriteUnlockObsolete releases the lock and marks the node obsolete
+// (removed from the structure); readers and writers restart on sight.
+func (l *Lock) WriteUnlockObsolete() {
+	l.word.Add(versionInc + obsoleteBit - lockedBit)
+}
+
+// IsObsolete reports whether the node has been marked obsolete.
+func (l *Lock) IsObsolete() bool { return l.word.Load()&obsoleteBit != 0 }

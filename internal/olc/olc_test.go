@@ -1,0 +1,160 @@
+package olc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReadLockUnlocked(t *testing.T) {
+	var l Lock
+	v, ok := l.ReadLock()
+	if !ok {
+		t.Fatal("read lock on fresh lock failed")
+	}
+	if !l.ReadUnlock(v) {
+		t.Fatal("validation failed with no writers")
+	}
+}
+
+func TestWriterInvalidatesReader(t *testing.T) {
+	var l Lock
+	v, _ := l.ReadLock()
+	if !l.WriteLock() {
+		t.Fatal("write lock failed")
+	}
+	if l.Check(v) {
+		t.Fatal("reader validated while writer holds the lock")
+	}
+	l.WriteUnlock()
+	if l.ReadUnlock(v) {
+		t.Fatal("reader validated after a write")
+	}
+	// A fresh read section works again.
+	v2, ok := l.ReadLock()
+	if !ok || !l.ReadUnlock(v2) {
+		t.Fatal("fresh read section failed after unlock")
+	}
+	if v2 == v {
+		t.Fatal("version did not advance")
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	var l Lock
+	v, _ := l.ReadLock()
+	if !l.Upgrade(v) {
+		t.Fatal("upgrade failed with no interference")
+	}
+	if _, ok := l.ReadLock(); ok {
+		t.Fatal("read lock acquired while write-locked")
+	}
+	l.WriteUnlock()
+
+	v, _ = l.ReadLock()
+	if !l.WriteLock() {
+		t.Fatal("write lock failed")
+	}
+	l.WriteUnlock()
+	if l.Upgrade(v) {
+		t.Fatal("upgrade succeeded after interference")
+	}
+}
+
+func TestObsolete(t *testing.T) {
+	var l Lock
+	l.WriteLock()
+	l.WriteUnlockObsolete()
+	if !l.IsObsolete() {
+		t.Fatal("not obsolete")
+	}
+	if _, ok := l.ReadLock(); ok {
+		t.Fatal("read lock on obsolete node succeeded")
+	}
+	if l.WriteLock() {
+		t.Fatal("write lock on obsolete node succeeded")
+	}
+}
+
+// TestMutualExclusion hammers a counter protected by the write lock.
+func TestMutualExclusion(t *testing.T) {
+	var l Lock
+	var counter int64 // plain; protected by l
+	nw := runtime.GOMAXPROCS(0) * 2
+	const per = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if !l.WriteLock() {
+					t.Error("write lock failed")
+					return
+				}
+				counter++
+				l.WriteUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != int64(nw*per) {
+		t.Fatalf("counter %d want %d", counter, nw*per)
+	}
+}
+
+// TestOptimisticReadersSeeConsistentPairs verifies the core OLC
+// guarantee: a validated read section never observes a torn write.
+func TestOptimisticReadersSeeConsistentPairs(t *testing.T) {
+	var l Lock
+	var a, b atomic.Int64 // written as a pair under the lock
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(1); !stop.Load(); i++ {
+			l.WriteLock()
+			a.Store(i)
+			b.Store(-i)
+			l.WriteUnlock()
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			valid := 0
+			for valid < 10000 {
+				v, ok := l.ReadLock()
+				if !ok {
+					continue
+				}
+				x, y := a.Load(), b.Load()
+				if !l.ReadUnlock(v) {
+					continue
+				}
+				valid++
+				if x != -y {
+					t.Errorf("torn read: a=%d b=%d", x, y)
+					return
+				}
+			}
+		}()
+	}
+	// Readers finish on their own; then stop the writer.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			stop.Store(true)
+			runtime.Gosched()
+		}
+	}
+}

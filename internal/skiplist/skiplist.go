@@ -1,0 +1,262 @@
+// Package skiplist implements a lock-free skip list after the "No Hot
+// Spot Non-blocking Skip List" design (Crain, Gramoli, Raynal, ICDCS
+// 2013), the lock-free competitor in the paper's evaluation (§6).
+//
+// The defining property of that design is that worker threads never build
+// towers: they only insert into the lock-free bottom-level linked list
+// (Harris-style, with marker nodes standing in for pointer tagging, which
+// Go cannot do). A single background thread periodically rebuilds the
+// upper-level index that accelerates descents. Under write-heavy load the
+// background thread lags behind and workers crawl long unindexed runs of
+// the bottom level — exactly the behaviour the paper observes (§6.1:
+// "the background thread may not process recent inserts fast enough").
+package skiplist
+
+import (
+	"bytes"
+	"sync/atomic"
+	"time"
+)
+
+// List is a concurrent skip list. Create with New; Close stops the
+// background index maintainer.
+type List struct {
+	head  *lnode
+	index atomic.Pointer[indexSnapshot]
+	// sample is the bottom-list stride between index entries.
+	sample int
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// lnode is a bottom-level node. Deletion marks a node by CASing its next
+// pointer to a marker node wrapping the true successor, which blocks
+// concurrent inserts after it (the Go substitute for pointer tagging).
+type lnode struct {
+	key    []byte
+	val    atomic.Uint64
+	next   atomic.Pointer[lnode]
+	marker bool
+}
+
+// indexSnapshot is a read-only acceleration structure built by the
+// background thread: a sorted sample of live bottom nodes. Workers binary
+// search it to pick a bottom-level starting point; staleness is safe
+// because unlinked nodes still point onward into the live list.
+type indexSnapshot struct {
+	keys  [][]byte
+	nodes []*lnode
+}
+
+// New returns an empty list whose index is rebuilt every interval (the
+// background-thread cadence; the paper's GC/maintenance interval is 40ms)
+// sampling every sample-th node.
+func New(interval time.Duration, sample int) *List {
+	if sample <= 0 {
+		sample = 32
+	}
+	if interval <= 0 {
+		interval = 40 * time.Millisecond
+	}
+	l := &List{
+		head:   &lnode{},
+		sample: sample,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	l.index.Store(&indexSnapshot{})
+	go l.maintain(interval)
+	return l
+}
+
+// Close stops the background maintainer.
+func (l *List) Close() {
+	select {
+	case <-l.done:
+	default:
+		close(l.stop)
+		<-l.done
+	}
+}
+
+func (l *List) maintain(interval time.Duration) {
+	defer close(l.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-ticker.C:
+			l.rebuildIndex()
+		}
+	}
+}
+
+// rebuildIndex walks the bottom level and samples live nodes.
+func (l *List) rebuildIndex() {
+	var keys [][]byte
+	var nodes []*lnode
+	i := 0
+	for n := l.head.next.Load(); n != nil; n = n.next.Load() {
+		if n.marker {
+			continue
+		}
+		if next := n.next.Load(); next != nil && next.marker {
+			continue // logically deleted
+		}
+		if i%l.sample == 0 {
+			keys = append(keys, n.key)
+			nodes = append(nodes, n)
+		}
+		i++
+	}
+	l.index.Store(&indexSnapshot{keys: keys, nodes: nodes})
+}
+
+// startPoint returns the rightmost indexed node with key < k (or head).
+// A logically-deleted index entry is unusable: its next chain predates
+// its unlinking and can miss newer inserts, so the search falls back to
+// earlier entries and ultimately the head.
+func (l *List) startPoint(k []byte) *lnode {
+	idx := l.index.Load()
+	lo, hi := 0, len(idx.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes.Compare(idx.keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo > 0 {
+		if n := idx.nodes[lo-1]; !isDeleted(n) {
+			return n
+		}
+		lo--
+	}
+	return l.head
+}
+
+// isDeleted reports whether n is logically deleted (its next is a marker).
+func isDeleted(n *lnode) bool {
+	next := n.next.Load()
+	return next != nil && next.marker
+}
+
+// find locates the insertion window for k starting from the index,
+// physically unlinking any logically-deleted nodes it passes (helping).
+// It returns pred (last live node with key < k) and succ (first live node
+// with key >= k, or nil).
+func (l *List) find(k []byte) (pred, succ *lnode) {
+retry:
+	pred = l.startPoint(k)
+	if isDeleted(pred) {
+		// The index handed us a logically-deleted start; fall back to a
+		// safe predecessor.
+		pred = l.head
+	}
+	cur := pred.next.Load()
+	for cur != nil {
+		if cur.marker {
+			// pred itself was deleted under us; restart.
+			goto retry
+		}
+		next := cur.next.Load()
+		if next != nil && next.marker {
+			// cur is logically deleted: help unlink (pred -> next.target).
+			target := next.next.Load()
+			if !pred.next.CompareAndSwap(cur, target) {
+				goto retry
+			}
+			cur = target
+			continue
+		}
+		if bytes.Compare(cur.key, k) >= 0 {
+			return pred, cur
+		}
+		pred = cur
+		cur = next
+	}
+	return pred, nil
+}
+
+// Insert adds (key, value), failing if the key is present.
+func (l *List) Insert(key []byte, value uint64) bool {
+	n := &lnode{key: append([]byte(nil), key...)}
+	n.val.Store(value)
+	for {
+		pred, succ := l.find(key)
+		if succ != nil && bytes.Equal(succ.key, key) {
+			return false
+		}
+		n.next.Store(succ)
+		if pred.next.CompareAndSwap(succ, n) {
+			return true
+		}
+	}
+}
+
+// Lookup returns the value stored under key.
+func (l *List) Lookup(key []byte) (uint64, bool) {
+	cur := l.startPoint(key)
+	for cur != nil {
+		if !cur.marker && cur.key != nil && bytes.Compare(cur.key, key) >= 0 {
+			if !bytes.Equal(cur.key, key) || isDeleted(cur) {
+				return 0, false
+			}
+			return cur.val.Load(), true
+		}
+		cur = cur.next.Load()
+	}
+	return 0, false
+}
+
+// Update replaces key's value in place, reporting presence.
+func (l *List) Update(key []byte, value uint64) bool {
+	_, succ := l.find(key)
+	if succ == nil || !bytes.Equal(succ.key, key) || isDeleted(succ) {
+		return false
+	}
+	succ.val.Store(value)
+	return true
+}
+
+// Delete removes key, reporting whether this call deleted it.
+func (l *List) Delete(key []byte) bool {
+	for {
+		pred, succ := l.find(key)
+		if succ == nil || !bytes.Equal(succ.key, key) {
+			return false
+		}
+		next := succ.next.Load()
+		if next != nil && next.marker {
+			return false // already deleted
+		}
+		// Logical deletion: install a marker after succ.
+		m := &lnode{marker: true}
+		m.next.Store(next)
+		if !succ.next.CompareAndSwap(next, m) {
+			continue
+		}
+		// Physical unlink (best effort; find() helps later otherwise).
+		pred.next.CompareAndSwap(succ, next)
+		return true
+	}
+}
+
+// Scan visits up to max live items with key >= start in ascending order.
+func (l *List) Scan(start []byte, max int, visit func(key []byte, value uint64) bool) int {
+	count := 0
+	cur := l.startPoint(start)
+	for cur != nil && count < max {
+		if !cur.marker && cur.key != nil && bytes.Compare(cur.key, start) >= 0 && !isDeleted(cur) {
+			count++
+			if !visit(cur.key, cur.val.Load()) {
+				return count
+			}
+		}
+		cur = cur.next.Load()
+	}
+	return count
+}

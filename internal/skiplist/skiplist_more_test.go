@@ -1,0 +1,123 @@
+package skiplist
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestScanWhileMutating checks scan ordering and liveness while writers
+// churn and the background thread rebuilds the index underneath.
+func TestScanWhileMutating(t *testing.T) {
+	l := New(time.Millisecond, 8)
+	defer l.Close()
+	for i := uint64(0); i < 20000; i += 2 {
+		l.Insert(key64(i), i)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for !stop.Load() {
+				n := uint64(rng.Intn(10000))*2 + 1
+				if rng.Intn(2) == 0 {
+					l.Insert(key64(n), n)
+				} else {
+					l.Delete(key64(n))
+				}
+			}
+		}(w)
+	}
+	for round := 0; round < 10; round++ {
+		var prev int64 = -1
+		evens := 0
+		l.Scan(key64(0), 30000, func(k []byte, v uint64) bool {
+			cur := int64(binary.BigEndian.Uint64(k))
+			if cur <= prev {
+				t.Errorf("scan order: %d after %d", cur, prev)
+				return false
+			}
+			if cur%2 == 0 {
+				evens++
+			}
+			prev = cur
+			return true
+		})
+		if t.Failed() {
+			break
+		}
+		if evens != 10000 {
+			t.Fatalf("round %d: stable keys seen %d of 10000", round, evens)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestUpdateRace: updates are atomic stores on the node; concurrent
+// readers must observe one of the written values.
+func TestUpdateRace(t *testing.T) {
+	l := New(time.Millisecond, 8)
+	defer l.Close()
+	k := key64(42)
+	l.Insert(k, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				if w%2 == 0 {
+					l.Update(k, uint64(i))
+				} else if v, ok := l.Lookup(k); !ok || v >= 10000 {
+					t.Errorf("bad value %d %v", v, ok)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestDeleteInsertRace: the same key deleted and re-inserted from many
+// goroutines must never appear twice in a scan.
+func TestDeleteInsertRace(t *testing.T) {
+	l := New(time.Millisecond, 4)
+	defer l.Close()
+	for i := uint64(0); i < 100; i++ {
+		l.Insert(key64(i), i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 10000; i++ {
+				k := uint64(rng.Intn(100))
+				if rng.Intn(2) == 0 {
+					l.Delete(key64(k))
+				} else {
+					l.Insert(key64(k), k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	l.Scan(key64(0), 1000, func(k []byte, v uint64) bool {
+		n := binary.BigEndian.Uint64(k)
+		if seen[n] {
+			t.Errorf("key %d appears twice", n)
+			return false
+		}
+		seen[n] = true
+		return true
+	})
+}

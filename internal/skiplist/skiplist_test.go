@@ -1,0 +1,229 @@
+package skiplist
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newList() *List { return New(time.Millisecond, 8) }
+
+func key64(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func TestBasicOps(t *testing.T) {
+	l := newList()
+	defer l.Close()
+	if !l.Insert([]byte("b"), 2) || !l.Insert([]byte("a"), 1) || !l.Insert([]byte("c"), 3) {
+		t.Fatal("insert failed")
+	}
+	if l.Insert([]byte("b"), 9) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	for i, k := range []string{"a", "b", "c"} {
+		v, ok := l.Lookup([]byte(k))
+		if !ok || v != uint64(i+1) {
+			t.Fatalf("lookup %q: %d %v", k, v, ok)
+		}
+	}
+	if !l.Update([]byte("b"), 20) {
+		t.Fatal("update failed")
+	}
+	if v, _ := l.Lookup([]byte("b")); v != 20 {
+		t.Fatalf("updated value %d", v)
+	}
+	if !l.Delete([]byte("b")) {
+		t.Fatal("delete failed")
+	}
+	if l.Delete([]byte("b")) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := l.Lookup([]byte("b")); ok {
+		t.Fatal("deleted key visible")
+	}
+	if !l.Insert([]byte("b"), 5) {
+		t.Fatal("re-insert failed")
+	}
+}
+
+func TestIndexCatchesUp(t *testing.T) {
+	l := newList()
+	defer l.Close()
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		l.Insert(key64(i), i)
+	}
+	// Wait for at least one index rebuild, then verify the index is
+	// actually consulted (startPoint returns a non-head node).
+	time.Sleep(20 * time.Millisecond)
+	if sp := l.startPoint(key64(n - 1)); sp == l.head {
+		t.Fatal("index never built")
+	}
+	for i := uint64(0); i < n; i += 97 {
+		if v, ok := l.Lookup(key64(i)); !ok || v != i {
+			t.Fatalf("lookup %d: %d %v", i, v, ok)
+		}
+	}
+}
+
+func TestScanSkipsDeleted(t *testing.T) {
+	l := newList()
+	defer l.Close()
+	for i := uint64(0); i < 100; i++ {
+		l.Insert(key64(i), i)
+	}
+	for i := uint64(0); i < 100; i += 2 {
+		l.Delete(key64(i))
+	}
+	var got []uint64
+	l.Scan(key64(0), 1000, func(k []byte, v uint64) bool {
+		got = append(got, binary.BigEndian.Uint64(k))
+		return true
+	})
+	if len(got) != 50 {
+		t.Fatalf("scan found %d items", len(got))
+	}
+	for i, k := range got {
+		if want := uint64(i*2 + 1); k != want {
+			t.Fatalf("scan[%d] = %d want %d", i, k, want)
+		}
+	}
+}
+
+// TestStaleIndexAfterDeleteAndReinsert regression-tests the bug where a
+// lookup starting from a logically-deleted index node missed keys
+// inserted after its unlinking.
+func TestStaleIndexAfterDeleteAndReinsert(t *testing.T) {
+	l := newList()
+	defer l.Close()
+	for i := uint64(0); i < 1000; i++ {
+		l.Insert(key64(i*10), i)
+	}
+	time.Sleep(10 * time.Millisecond) // index now covers these nodes
+	// Delete a swath of indexed nodes, then insert new keys into the gap
+	// before the index rebuilds.
+	for i := uint64(400); i < 600; i++ {
+		l.Delete(key64(i * 10))
+	}
+	for i := uint64(400); i < 600; i++ {
+		if !l.Insert(key64(i*10+5), i) {
+			t.Fatalf("re-insert %d failed", i)
+		}
+	}
+	for i := uint64(400); i < 600; i++ {
+		if v, ok := l.Lookup(key64(i*10 + 5)); !ok || v != i {
+			t.Fatalf("lookup %d: %d %v", i*10+5, v, ok)
+		}
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	l := newList()
+	defer l.Close()
+	nw := runtime.GOMAXPROCS(0) * 2
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 20000; i++ {
+				k := uint64(rng.Intn(2000))
+				switch rng.Intn(3) {
+				case 0:
+					l.Insert(key64(k), k)
+				case 1:
+					l.Delete(key64(k))
+				default:
+					if v, ok := l.Lookup(key64(k)); ok && v != k {
+						t.Errorf("key %d has value %d", k, v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	l := newList()
+	defer l.Close()
+	nw := runtime.GOMAXPROCS(0) * 2
+	const per = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := uint64(w) * per
+			for i := uint64(0); i < per; i++ {
+				if !l.Insert(key64(base+i), base+i) {
+					t.Errorf("insert %d failed", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	count := 0
+	var prev int64 = -1
+	l.Scan(key64(0), nw*per+10, func(k []byte, v uint64) bool {
+		cur := int64(binary.BigEndian.Uint64(k))
+		if cur <= prev {
+			t.Errorf("scan order: %d after %d", cur, prev)
+			return false
+		}
+		prev = cur
+		count++
+		return true
+	})
+	if count != nw*per {
+		t.Fatalf("scan count %d want %d", count, nw*per)
+	}
+}
+
+func TestQuickModel(t *testing.T) {
+	l := newList()
+	defer l.Close()
+	model := map[uint16]uint64{}
+	f := func(k uint16, v uint64, op uint8) bool {
+		key := key64(uint64(k))
+		switch op % 3 {
+		case 0:
+			_, exists := model[k]
+			if l.Insert(key, v) == exists {
+				return false
+			}
+			if !exists {
+				model[k] = v
+			}
+		case 1:
+			_, exists := model[k]
+			if l.Delete(key) != exists {
+				return false
+			}
+			delete(model, k)
+		default:
+			want, exists := model[k]
+			got, ok := l.Lookup(key)
+			if ok != exists || ok && got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package ycsb generates the workloads of the paper's evaluation (§5.1):
+// YCSB core workloads A (read/update 50/50), C (read-only), and E
+// (scan/insert 95/5) with Zipfian-distributed skewed access, plus the
+// Insert-only load phase, over three key types (Mono-Int, Rand-Int,
+// Email) and the high-contention Mono-HC generator of §6.2.
+package ycsb
+
+import "math"
+
+// ZipfianTheta is YCSB's default skew constant.
+const ZipfianTheta = 0.99
+
+// Zipfian draws integers in [0, n) with a Zipfian distribution, exactly
+// following the YCSB ZipfianGenerator (Gray et al.'s algorithm). It is
+// NOT safe for concurrent use; give each worker its own instance.
+type Zipfian struct {
+	n            uint64
+	theta        float64
+	alpha        float64
+	zetan        float64
+	eta          float64
+	zeta2theta   float64
+	countForZeta uint64
+	rng          *Rand
+}
+
+// NewZipfian returns a Zipfian generator over [0, n) seeded with seed.
+func NewZipfian(n uint64, seed uint64) *Zipfian {
+	z := &Zipfian{n: n, theta: ZipfianTheta, rng: NewRand(seed)}
+	z.zeta2theta = zetaStatic(2, z.theta)
+	z.alpha = 1 / (1 - z.theta)
+	z.zetan = zetaStatic(n, z.theta)
+	z.countForZeta = n
+	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next Zipfian-distributed value in [0, n).
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads Zipfian popularity across the key space by
+// hashing, as YCSB does, so hot keys are not clustered at one end.
+type ScrambledZipfian struct {
+	z *Zipfian
+	n uint64
+}
+
+// NewScrambledZipfian returns a scrambled generator over [0, n).
+func NewScrambledZipfian(n uint64, seed uint64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: NewZipfian(n, seed), n: n}
+}
+
+// Next draws the next scrambled value in [0, n).
+func (s *ScrambledZipfian) Next() uint64 {
+	return fnv64(s.z.Next()) % s.n
+}
+
+// fnv64 is the FNV-1a step YCSB uses for scrambling.
+func fnv64(v uint64) uint64 {
+	const (
+		offset = 0xCBF29CE484222325
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// Rand is a splitmix64-based PRNG: tiny, fast, and good enough for
+// workload generation. Not safe for concurrent use.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed + 0x9E3779B97F4A7C15} }
+
+// Uint64 returns the next pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *Rand) Intn(n int) int { return int(r.Uint64() % uint64(n)) }
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
