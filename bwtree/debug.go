@@ -1,0 +1,70 @@
+package bwtree
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// LatencySnapshot is a mergeable point-in-time copy of a tree's
+// per-operation-class latency histograms (requires
+// Options.LatencyHistograms). Obtain one with Tree.Latencies.
+type LatencySnapshot = obs.LatencySnapshot
+
+// TraceEvent is one structural event (split, merge, consolidate, abort,
+// epoch advance) drained from the tracer (requires Options.TraceRingSize
+// > 0). Obtain them with Tree.TraceEvents.
+type TraceEvent = obs.Event
+
+// DebugServer is a live HTTP debug surface over one tree.
+type DebugServer = obs.Server
+
+// DebugVars builds the observability data source for t: counters and
+// gauges from Stats, plus latency and trace feeds when the tree was
+// built with them enabled. Useful for mounting the debug surface into an
+// existing HTTP server via obs.Mux.
+func DebugVars(t *Tree) obs.Vars {
+	v := obs.Vars{
+		Counters: func() map[string]uint64 {
+			st := t.Stats()
+			return map[string]uint64{
+				"ops":            st.Ops,
+				"aborts":         st.Aborts,
+				"consolidations": st.Consolidations,
+				"splits":         st.Splits,
+				"merges":         st.Merges,
+				"slab_full":      st.SlabFull,
+				"pointer_chases": st.PointerChases,
+				"cas_failures":   st.CASFailures,
+				"gc_retired":     st.GC.Retired,
+				"gc_reclaimed":   st.GC.Reclaimed,
+				"gc_advances":    st.GC.Advances,
+			}
+		},
+		Gauges: func() map[string]float64 {
+			st := t.Stats()
+			return map[string]float64{
+				"abort_rate":          st.AbortRate(),
+				"leaf_prealloc_util":  st.LeafPreallocUtilization(),
+				"inner_prealloc_util": st.InnerPreallocUtilization(),
+			}
+		},
+	}
+	if t.Options().LatencyHistograms {
+		v.Latency = t.Latencies
+	}
+	if t.Options().TraceRingSize > 0 {
+		v.Trace = t.TraceEvents
+		v.TraceDropped = t.TraceDropped
+	}
+	return v
+}
+
+// ServeDebug starts an HTTP debug server for t on addr (host:port; port
+// 0 picks a free one): expvar under /debug/vars (including a "bwtree"
+// composite with per-second op rates), pprof under /debug/pprof/, and
+// JSON endpoints /debug/stats, /debug/latency, /debug/trace. Close the
+// returned server when done.
+func ServeDebug(t *Tree, addr string) (*DebugServer, error) {
+	return obs.Serve(addr, DebugVars(t), time.Second)
+}

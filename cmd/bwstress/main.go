@@ -36,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 8, "worker goroutines")
 	keyspace := flag.Uint64("keyspace", 100000, "shared keys per worker slice")
 	leafSize := flag.Int("leaf", 32, "leaf node size (small sizes maximize SMO churn)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address (enables latency histograms and SMO tracing)")
 	flag.Parse()
 
 	opts := bwtree.DefaultOptions()
@@ -45,8 +46,21 @@ func main() {
 	opts.InnerChainLength = 2
 	opts.LeafMergeSize = *leafSize / 4
 	opts.InnerMergeSize = *leafSize / 8
+	if *debugAddr != "" {
+		opts.LatencyHistograms = true
+		opts.TraceRingSize = 1024
+	}
 	t := bwtree.New(opts)
 	defer t.Close()
+
+	if *debugAddr != "" {
+		srv, err := bwtree.ServeDebug(t, *debugAddr)
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug endpoints at http://%s/debug/vars (stats, latency, trace, pprof)", srv.Addr())
+	}
 
 	var stop atomic.Bool
 	var failed atomic.Bool
@@ -157,4 +171,10 @@ func main() {
 	st := t.Stats()
 	fmt.Printf("PASS: %d ops, %d aborts (%.2f%%), %d splits, %d merges, final count %d\n",
 		ops.Load(), st.Aborts, st.AbortRate()*100, st.Splits, st.Merges, t.Count())
+	if lat := t.Latencies(); lat != nil {
+		for class, m := range lat.Summary() {
+			fmt.Printf("  %-7s n=%-10.0f p50=%7.2fus p99=%7.2fus p99.9=%7.2fus\n",
+				class, m["count"], m["p50_us"], m["p99_us"], m["p999_us"])
+		}
+	}
 }

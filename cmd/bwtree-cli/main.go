@@ -9,11 +9,17 @@
 //	bw> stats
 //	...
 //
-// Commands: put/get/del/update/scan/rscan/count/stats/structure/dump/help/quit.
+// It also runs one-shot: `bwtree-cli [-json] [-load n] stats|shape`
+// preloads n sequential keys and prints the tree's operation counters or
+// node-shape statistics, aligned for terminals or as JSON for scripts.
+//
+// Commands: put/get/del/update/scan/rscan/count/stats/shape/dump/help/quit.
 package main
 
 import (
 	"bufio"
+	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"os"
 	"strconv"
@@ -22,12 +28,65 @@ import (
 	"repro/bwtree"
 )
 
+var jsonOut bool
+
 func main() {
+	args := os.Args[1:]
+	load := 0
+	for len(args) > 0 && strings.HasPrefix(args[0], "-") {
+		switch flag := strings.TrimLeft(args[0], "-"); {
+		case flag == "json":
+			jsonOut = true
+			args = args[1:]
+		case flag == "load":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "bwtree-cli: -load needs a count")
+				os.Exit(2)
+			}
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 0 {
+				fmt.Fprintf(os.Stderr, "bwtree-cli: bad -load count %q\n", args[1])
+				os.Exit(2)
+			}
+			load = n
+			args = args[2:]
+		case flag == "h" || flag == "help":
+			usage(os.Stdout)
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "bwtree-cli: unknown flag %q\n", args[0])
+			usage(os.Stderr)
+			os.Exit(2)
+		}
+	}
+
 	opts := bwtree.DefaultOptions()
 	t := bwtree.New(opts)
 	defer t.Close()
 	s := t.NewSession()
 	defer s.Release()
+
+	if load > 0 {
+		key := make([]byte, 8)
+		for i := 0; i < load; i++ {
+			binary.BigEndian.PutUint64(key, uint64(i))
+			s.Insert(key, uint64(i))
+		}
+	}
+
+	// One-shot mode: run the subcommand and exit.
+	if len(args) > 0 {
+		switch args[0] {
+		case "stats":
+			printStats(t)
+		case "shape", "structure":
+			printShape(t)
+		default:
+			fmt.Fprintf(os.Stderr, "bwtree-cli: unknown subcommand %q (stats, shape)\n", args[0])
+			os.Exit(2)
+		}
+		return
+	}
 
 	fmt.Println("OpenBw-Tree shell — 'help' for commands")
 	sc := bufio.NewScanner(os.Stdin)
@@ -39,6 +98,92 @@ func main() {
 		}
 		fmt.Print("bw> ")
 	}
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: bwtree-cli [-json] [-load n] [stats|shape]
+
+With a subcommand, prints the requested statistics and exits (use -load
+to populate the tree first). Without one, starts an interactive shell.
+`)
+}
+
+// kv is one labelled statistic; a slice renders as an aligned table or,
+// with -json, as an ordered JSON object.
+type kv struct {
+	key string
+	val any
+}
+
+func printKVs(title string, kvs []kv) {
+	if jsonOut {
+		// Build the object by hand to keep the field order.
+		var b strings.Builder
+		b.WriteString("{")
+		for i, e := range kvs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			name, _ := json.Marshal(e.key)
+			val, _ := json.Marshal(e.val)
+			b.Write(name)
+			b.WriteString(":")
+			b.Write(val)
+		}
+		b.WriteString("}")
+		fmt.Println(b.String())
+		return
+	}
+	width := 0
+	for _, e := range kvs {
+		if len(e.key) > width {
+			width = len(e.key)
+		}
+	}
+	fmt.Println(title)
+	for _, e := range kvs {
+		switch v := e.val.(type) {
+		case float64:
+			fmt.Printf("  %-*s  %.4f\n", width, e.key, v)
+		default:
+			fmt.Printf("  %-*s  %v\n", width, e.key, v)
+		}
+	}
+}
+
+func printStats(t *bwtree.Tree) {
+	st := t.Stats()
+	printKVs("operation counters", []kv{
+		{"ops", st.Ops},
+		{"aborts", st.Aborts},
+		{"abort_rate", st.AbortRate()},
+		{"consolidations", st.Consolidations},
+		{"splits", st.Splits},
+		{"merges", st.Merges},
+		{"slab_full", st.SlabFull},
+		{"pointer_chases", st.PointerChases},
+		{"cas_failures", st.CASFailures},
+		{"leaf_prealloc_util", st.LeafPreallocUtilization()},
+		{"inner_prealloc_util", st.InnerPreallocUtilization()},
+		{"gc_retired", st.GC.Retired},
+		{"gc_reclaimed", st.GC.Reclaimed},
+		{"gc_advances", st.GC.Advances},
+	})
+}
+
+func printShape(t *bwtree.Tree) {
+	st := t.StructureStats()
+	printKVs("tree shape (Table 2 quantities)", []kv{
+		{"height", st.Height},
+		{"inner_nodes", st.InnerNodes},
+		{"leaf_nodes", st.LeafNodes},
+		{"avg_inner_chain_len", st.AvgInnerChainLen},
+		{"avg_leaf_chain_len", st.AvgLeafChainLen},
+		{"avg_inner_node_size", st.AvgInnerNodeSize},
+		{"avg_leaf_node_size", st.AvgLeafNodeSize},
+		{"inner_prealloc_util", st.InnerPreallocUse},
+		{"leaf_prealloc_util", st.LeafPreallocUse},
+	})
 }
 
 func dispatch(t *bwtree.Tree, s *bwtree.Session, line string) bool {
@@ -56,8 +201,8 @@ func dispatch(t *bwtree.Tree, s *bwtree.Session, line string) bool {
   scan <start> <n>        visit n pairs in ascending order from start
   rscan <start> <n>       visit n pairs in descending order from start
   count                   number of live pairs
-  stats                   operation counters
-  structure               node-shape statistics (Table 2 quantities)
+  stats                   operation counters (append 'json' for JSON)
+  shape                   node-shape statistics (Table 2 quantities)
   dump                    render the tree (small trees only!)
   quit
 `)
@@ -126,19 +271,24 @@ func dispatch(t *bwtree.Tree, s *bwtree.Session, line string) bool {
 	case "count":
 		fmt.Println(t.Count())
 	case "stats":
-		st := t.Stats()
-		fmt.Printf("ops=%d aborts=%d (%.2f%%) consolidations=%d splits=%d merges=%d casFailures=%d\n",
-			st.Ops, st.Aborts, st.AbortRate()*100, st.Consolidations, st.Splits, st.Merges, st.CASFailures)
-		fmt.Printf("gc: retired=%d reclaimed=%d advances=%d\n", st.GC.Retired, st.GC.Reclaimed, st.GC.Advances)
-	case "structure":
-		st := t.StructureStats()
-		fmt.Printf("height=%d innerNodes=%d leafNodes=%d\n", st.Height, st.InnerNodes, st.LeafNodes)
-		fmt.Printf("avg inner chain=%.2f leaf chain=%.2f inner size=%.1f leaf size=%.1f\n",
-			st.AvgInnerChainLen, st.AvgLeafChainLen, st.AvgInnerNodeSize, st.AvgLeafNodeSize)
+		withJSON(args, func() { printStats(t) })
+	case "shape", "structure":
+		withJSON(args, func() { printShape(t) })
 	case "dump":
 		fmt.Print(t.Dump())
 	default:
 		fmt.Printf("unknown command %q ('help' lists commands)\n", cmd)
 	}
 	return true
+}
+
+// withJSON runs print with JSON output when the shell command had a
+// trailing 'json' argument.
+func withJSON(args []string, print func()) {
+	saved := jsonOut
+	if len(args) > 0 && args[0] == "json" {
+		jsonOut = true
+	}
+	print()
+	jsonOut = saved
 }

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/bwtree"
+	"repro/internal/core"
 	"repro/internal/index"
 )
 
@@ -39,6 +41,24 @@ func indexByName(name string) (index.Index, error) {
 	return nil, fmt.Errorf("unknown index %q (bw, openbw, skiplist, masstree, btree, art)", name)
 }
 
+// indexByNameObs is indexByName with the Bw-Tree variants rebuilt with
+// latency histograms and SMO tracing enabled, for -debug-addr runs.
+func indexByNameObs(name string) (index.Index, error) {
+	var opts core.Options
+	var report string
+	switch strings.ToLower(name) {
+	case "bw", "bwtree":
+		opts, report = core.BaselineOptions(), "BwTree"
+	case "openbw", "openbwtree":
+		opts, report = core.DefaultOptions(), "OpenBwTree"
+	default:
+		return indexByName(name)
+	}
+	opts.LatencyHistograms = true
+	opts.TraceRingSize = 1024
+	return index.NewBwTreeWith(report, opts), nil
+}
+
 type op struct {
 	kind  byte // 'I', 'R', 'U', 'S'
 	key   []byte
@@ -49,14 +69,36 @@ type op struct {
 func main() {
 	idxName := flag.String("index", "openbw", "index to replay against")
 	threads := flag.Int("threads", 1, "worker goroutines")
+	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address (Bw-Tree indexes only)")
 	flag.Parse()
 
-	idx, err := indexByName(*idxName)
+	var idx index.Index
+	var err error
+	if *debugAddr != "" {
+		idx, err = indexByNameObs(*idxName)
+	} else {
+		idx, err = indexByName(*idxName)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ycsbreplay:", err)
 		os.Exit(2)
 	}
 	defer idx.Close()
+
+	if *debugAddr != "" {
+		bw, ok := idx.(index.BwBacked)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ycsbreplay: -debug-addr requires a Bw-Tree index, not %q\n", idx.Name())
+			os.Exit(2)
+		}
+		srv, err := bwtree.ServeDebug(bw.Tree(), *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ycsbreplay: debug server:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints at http://%s/debug/vars\n", srv.Addr())
+	}
 
 	ops, err := parseTrace(os.Stdin)
 	if err != nil {
@@ -101,6 +143,14 @@ func main() {
 	fmt.Printf("%s: %d ops in %v (%.3f Mops/s, %d threads)\n",
 		idx.Name(), len(ops), dur.Round(time.Millisecond),
 		float64(len(ops))/dur.Seconds()/1e6, nw)
+	if bw, ok := idx.(index.BwBacked); ok {
+		if lat := bw.Tree().Latencies(); lat != nil {
+			for class, m := range lat.Summary() {
+				fmt.Printf("  %-7s n=%-10.0f p50=%7.2fus p90=%7.2fus p99=%7.2fus p99.9=%7.2fus\n",
+					class, m["count"], m["p50_us"], m["p90_us"], m["p99_us"], m["p999_us"])
+			}
+		}
+	}
 }
 
 func parseTrace(f *os.File) ([]op, error) {

@@ -34,10 +34,25 @@ import (
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	demo := flag.Bool("demo", false, "run a self-contained demo round and exit")
+	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address")
 	flag.Parse()
 
-	t := bwtree.New(bwtree.DefaultOptions())
+	opts := bwtree.DefaultOptions()
+	if *debugAddr != "" {
+		opts.LatencyHistograms = true
+		opts.TraceRingSize = 512
+	}
+	t := bwtree.New(opts)
 	defer t.Close()
+
+	if *debugAddr != "" {
+		srv, err := bwtree.ServeDebug(t, *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("debug endpoints at http://%s/debug/vars", srv.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

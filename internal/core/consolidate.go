@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // collected is a logical node's materialized content: parallel key/value
@@ -70,10 +72,11 @@ func (s *Session) consolidateID(id nodeID, head *delta, parentID nodeID, parentH
 	}
 	nb := s.buildBase(c, head)
 	if !s.t.cas(id, head, nb) {
-		s.stats.casFailures++
+		s.stats.casFailures.Add(1)
 		return
 	}
-	s.stats.consolidations++
+	s.stats.consolidations.Add(1)
+	s.emit(obs.EvConsolidate, id, uint64(head.depth), uint64(nb.size))
 	s.retireChain(head)
 	if mergeSize > 0 && len(c.keys) < mergeSize &&
 		id != s.t.root && nb.lowKey != nil {
@@ -106,11 +109,11 @@ func (s *Session) retireChain(head *delta) {
 	}
 	used, capacity := uint64(sl.used()), uint64(len(sl.slots))
 	if head.isLeaf {
-		s.stats.leafSlabUsed += used
-		s.stats.leafSlabCap += capacity
+		s.stats.leafSlabUsed.Add(used)
+		s.stats.leafSlabCap.Add(capacity)
 	} else {
-		s.stats.innerSlabUsed += used
-		s.stats.innerSlabCap += capacity
+		s.stats.innerSlabUsed.Add(used)
+		s.stats.innerSlabCap.Add(capacity)
 	}
 	t, leaf := s.t, head.isLeaf
 	s.h.Retire(func() {
@@ -238,7 +241,7 @@ func (s *Session) gatherLeafRecords(head *delta, ins, del []effRec) (insOut, del
 		default:
 			return ins, del, nil, subchains, hasMerge
 		}
-		s.stats.pointerChases++
+		s.chases++
 		d = d.next
 	}
 }
@@ -477,7 +480,7 @@ func (s *Session) collectInner(head *delta) collected {
 			if stop {
 				break
 			}
-			s.stats.pointerChases++
+			s.chases++
 			d = d.next
 		}
 	}

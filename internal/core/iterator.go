@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"runtime"
+
+	"repro/internal/obs"
 )
 
 // Iterator provides ordered forward and backward traversal (§3.2). It
@@ -79,13 +81,13 @@ restart:
 		for hops := 0; hops < maxTraversalHops; hops++ {
 			head := t.load(id)
 			if head == nil || head.kind == kAbort {
-				s.stats.aborts++
+				s.stats.aborts.Add(1)
 				continue restart
 			}
 			if head.kind == kRemove {
 				leftID, ok := s.helpMerge(parentID, parentHead, id, head)
 				if !ok {
-					s.stats.aborts++
+					s.stats.aborts.Add(1)
 					continue restart
 				}
 				id = leftID
@@ -95,7 +97,7 @@ restart:
 			// with highKey < key lies too far left; chase right.
 			if head.highKey != nil && keyGT(key, head.highKey) {
 				if head.rightSib == invalidNode {
-					s.stats.aborts++
+					s.stats.aborts.Add(1)
 					continue restart
 				}
 				id = head.rightSib
@@ -104,7 +106,7 @@ restart:
 			// Appendix C.2 abort rule: a concurrent SMO can hand us a
 			// node that no longer lies strictly left of the search key.
 			if head.lowKey != nil && !keyGT(key, head.lowKey) {
-				s.stats.aborts++
+				s.stats.aborts.Add(1)
 				continue restart
 			}
 			if head.isLeaf {
@@ -115,13 +117,13 @@ restart:
 			}
 			child, ok := s.routeInnerLeft(head, key)
 			if !ok {
-				s.stats.aborts++
+				s.stats.aborts.Add(1)
 				continue restart
 			}
 			parentID, parentHead = id, head
 			id = child
 		}
-		s.stats.aborts++
+		s.stats.aborts.Add(1)
 	}
 }
 
@@ -237,6 +239,7 @@ func (it *Iterator) retreatNode() {
 // key >= start, stopping early when visit returns false. It returns the
 // number of items visited. This is the YCSB-E range-scan entry point.
 func (s *Session) Scan(start []byte, n int, visit func(key []byte, value uint64) bool) int {
+	defer s.opDone(obs.OpScan, s.opStart())
 	it := s.NewIterator()
 	it.Seek(start)
 	count := 0
@@ -247,7 +250,6 @@ func (s *Session) Scan(start []byte, n int, visit func(key []byte, value uint64)
 		}
 		it.Next()
 	}
-	s.stats.ops++
 	return count
 }
 
@@ -255,6 +257,7 @@ func (s *Session) Scan(start []byte, n int, visit func(key []byte, value uint64)
 // stopping early when visit returns false. It returns the number of
 // items visited. A nil end means +inf.
 func (s *Session) Range(start, end []byte, visit func(key []byte, value uint64) bool) int {
+	defer s.opDone(obs.OpScan, s.opStart())
 	it := s.NewIterator()
 	it.Seek(start)
 	count := 0
@@ -265,13 +268,13 @@ func (s *Session) Range(start, end []byte, visit func(key []byte, value uint64) 
 		}
 		it.Next()
 	}
-	s.stats.ops++
 	return count
 }
 
 // ScanReverse visits at most n items in descending order starting at the
 // largest key <= start.
 func (s *Session) ScanReverse(start []byte, n int, visit func(key []byte, value uint64) bool) int {
+	defer s.opDone(obs.OpScan, s.opStart())
 	it := s.NewIterator()
 	it.Seek(start)
 	if !it.Valid() {
@@ -287,6 +290,5 @@ func (s *Session) ScanReverse(start []byte, n int, visit func(key []byte, value 
 		}
 		it.Prev()
 	}
-	s.stats.ops++
 	return count
 }

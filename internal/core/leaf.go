@@ -75,7 +75,7 @@ func (s *Session) leafSeek(head *delta, key []byte) seekResult {
 			// for whichever base this replay ends at: reset it.
 			lo, hi = 0, int(^uint(0)>>1)
 			if keyGE(key, d.key) {
-				s.stats.pointerChases++
+				s.chases++
 				d = d.mergeContent
 				continue
 			}
@@ -94,7 +94,7 @@ func (s *Session) leafSeek(head *delta, key []byte) seekResult {
 			// the base search conservatively.
 			return seekResult{found: false, baseOff: -1}
 		}
-		s.stats.pointerChases++
+		s.chases++
 		d = d.next
 	}
 }
@@ -153,7 +153,7 @@ func (s *Session) collectValues(head *delta, key []byte, out []uint64) (res []ui
 			// Filtered by the high-key check; nothing to do.
 		case kMerge:
 			if keyGE(key, d.key) {
-				s.stats.pointerChases++
+				s.chases++
 				d = d.mergeContent
 				continue
 			}
@@ -171,7 +171,7 @@ func (s *Session) collectValues(head *delta, key []byte, out []uint64) (res []ui
 			s.present, s.deleted = present, deleted
 			return out, -1
 		}
-		s.stats.pointerChases++
+		s.chases++
 		d = d.next
 	}
 }
@@ -208,7 +208,7 @@ func (s *Session) leafSeekPair(head *delta, key []byte, value uint64) seekResult
 			// Filtered by the high-key check; nothing to do.
 		case kMerge:
 			if keyGE(key, d.key) {
-				s.stats.pointerChases++
+				s.chases++
 				d = d.mergeContent
 				continue
 			}
@@ -223,7 +223,7 @@ func (s *Session) leafSeekPair(head *delta, key []byte, value uint64) seekResult
 		default:
 			return seekResult{found: false, baseOff: -1}
 		}
-		s.stats.pointerChases++
+		s.chases++
 		d = d.next
 	}
 }
@@ -257,7 +257,7 @@ func (s *Session) leafSeekFirstVisible(head *delta, key []byte) seekResult {
 			// Filtered by the high-key check; nothing to do.
 		case kMerge:
 			if keyGE(key, d.key) {
-				s.stats.pointerChases++
+				s.chases++
 				d = d.mergeContent
 				continue
 			}
@@ -272,7 +272,7 @@ func (s *Session) leafSeekFirstVisible(head *delta, key []byte) seekResult {
 		default:
 			return seekResult{found: false, baseOff: -1}
 		}
-		s.stats.pointerChases++
+		s.chases++
 		d = d.next
 	}
 }

@@ -66,6 +66,17 @@ type Options struct {
 	// existing key with a new value succeed.
 	NonUnique bool
 
+	// LatencyHistograms enables per-session log-bucketed latency
+	// histograms for every public operation class, merged on demand by
+	// Tree.Latencies. Off by default: recording costs one clock read and
+	// two atomic adds per operation.
+	LatencyHistograms bool
+	// TraceRingSize, when positive, enables the structural event tracer:
+	// each session gets a fixed ring of that many split/merge/
+	// consolidate/abort/epoch-advance events, drained tree-wide in
+	// sequence order by Tree.TraceEvents. Zero disables tracing.
+	TraceRingSize int
+
 	// GC selects the garbage-collection scheme.
 	GC GCScheme
 	// GCInterval is the epoch-advance period (paper default 40ms).
@@ -148,6 +159,9 @@ func (o *Options) sanitize() {
 	}
 	if o.InnerMergeSize < 0 {
 		o.InnerMergeSize = 0
+	}
+	if o.TraceRingSize < 0 {
+		o.TraceRingSize = 0
 	}
 	// A node must be able to shed its merge threshold after a split.
 	if o.LeafMergeSize > o.LeafNodeSize/2 {

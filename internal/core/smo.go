@@ -3,6 +3,8 @@ package core
 import (
 	"bytes"
 	"runtime"
+
+	"repro/internal/obs"
 )
 
 // split performs the three-stage node split of Appendix A.1 on a node
@@ -30,10 +32,11 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 		// impossible, so install the oversized base and move on.
 		nb := s.buildBase(c, head)
 		if t.cas(id, head, nb) {
-			s.stats.consolidations++
+			s.stats.consolidations.Add(1)
+			s.emit(obs.EvConsolidate, id, uint64(head.depth), uint64(nb.size))
 			s.retireChain(head)
 		} else {
-			s.stats.casFailures++
+			s.stats.casFailures.Add(1)
 		}
 		return
 	}
@@ -60,10 +63,11 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 	if !t.cas(id, head, sd) {
 		// Nobody has seen rid; recycle it immediately.
 		t.mt.Recycle(rid)
-		s.stats.casFailures++
+		s.stats.casFailures.Add(1)
 		return
 	}
-	s.stats.splits++
+	s.stats.splits.Add(1)
+	s.emit(obs.EvSplit, id, rid, uint64(mid))
 
 	// Stage III: make the new node reachable from the parent.
 	s.postSeparator(splitKey, rid, sd.nextKey, id, parentID, parentHead)
@@ -76,7 +80,7 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 	left.highKey = splitKey
 	left.rightSib = rid
 	if t.cas(id, sd, left) {
-		s.stats.consolidations++
+		s.stats.consolidations.Add(1)
 		s.retireChain(head)
 	}
 }
@@ -159,10 +163,11 @@ func (s *Session) splitRoot(head *delta, c collected) {
 	if !t.cas(t.root, head, newRoot) {
 		t.mt.Recycle(lid)
 		t.mt.Recycle(rid)
-		s.stats.casFailures++
+		s.stats.casFailures.Add(1)
 		return
 	}
-	s.stats.splits++
+	s.stats.splits.Add(1)
+	s.emit(obs.EvSplit, t.root, rid, uint64(mid))
 	s.retireChain(head)
 }
 
@@ -188,7 +193,7 @@ func (s *Session) postSeparator(splitKey []byte, rightID nodeID, nextKey []byte,
 			parentID, parentHead = pid, phead
 			continue
 		}
-		s.stats.aborts++
+		s.stats.aborts.Add(1)
 		runtime.Gosched()
 	}
 }
@@ -247,7 +252,7 @@ func (s *Session) completeSplitParts(parentID nodeID, parentHead *delta, sepKey 
 	sep := s.allocDelta(parentHead)
 	if sep == nil {
 		// Parent slab exhausted: consolidate it, then rediscover.
-		s.stats.slabFull++
+		s.stats.slabFull.Add(1)
 		s.consolidateID(parentID, parentHead, invalidNode, nil)
 		return false
 	}
@@ -259,7 +264,7 @@ func (s *Session) completeSplitParts(parentID nodeID, parentHead *delta, sepKey 
 	sep.nextKey = nextKey
 	sep.offset = -1
 	if !s.t.cas(parentID, parentHead, sep) {
-		s.stats.casFailures++
+		s.stats.casFailures.Add(1)
 		return false
 	}
 	s.maybeConsolidate(parentID, sep)
@@ -298,7 +303,7 @@ func (s *Session) tryMerge(parentID nodeID, parentHead *delta, id nodeID, head *
 	ab := &delta{kind: kAbort}
 	ab.inheritFrom(parentHead)
 	if !t.cas(parentID, parentHead, ab) {
-		s.stats.casFailures++
+		s.stats.casFailures.Add(1)
 		return
 	}
 	unlock := func() {
@@ -331,7 +336,7 @@ func (s *Session) tryMerge(parentID nodeID, parentHead *delta, id nodeID, head *
 	rm := &delta{kind: kRemove}
 	rm.inheritFrom(h)
 	if !t.cas(id, h, rm) {
-		s.stats.casFailures++
+		s.stats.casFailures.Add(1)
 		unlock()
 		return
 	}
@@ -370,7 +375,8 @@ func (s *Session) tryMerge(parentID nodeID, parentHead *delta, id nodeID, head *
 	if !t.cas(parentID, ab, sd) {
 		panic("core: lost ∆abort ownership during merge")
 	}
-	s.stats.merges++
+	s.stats.merges.Add(1)
+	s.emit(obs.EvMerge, id, leftID, 0)
 
 	// The victim's ID is recycled once no traversal can still hold it.
 	s.h.Retire(func() { t.mt.Recycle(id) })
@@ -445,7 +451,7 @@ func (s *Session) mergeIntoLeft(parentHead *delta, victim nodeID, rm *delta) (no
 				s.maybeConsolidate(cur, m)
 				return origLeft, leftSepKey, true
 			}
-			s.stats.casFailures++
+			s.stats.casFailures.Add(1)
 		}
 	}
 }

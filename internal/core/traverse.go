@@ -126,7 +126,7 @@ func (s *Session) routeInner(head *delta, key []byte) (nodeID, bool) {
 			// Leaf kinds cannot appear in an inner chain.
 			return 0, false
 		}
-		s.stats.pointerChases++
+		s.chases++
 		d = d.next
 	}
 }
@@ -160,7 +160,7 @@ func (s *Session) routeInnerLeft(head *delta, key []byte) (nodeID, bool) {
 		default:
 			return 0, false
 		}
-		s.stats.pointerChases++
+		s.chases++
 		d = d.next
 	}
 }

@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/epoch"
 	"repro/internal/mapping"
+	"repro/internal/obs"
 )
 
 // Tree is a lock-free Bw-Tree mapping non-empty byte-string keys to uint64
@@ -24,9 +26,15 @@ type Tree struct {
 	leafSlabs  slabPool
 	innerSlabs slabPool
 
-	mu       sync.Mutex // guards sessions registry (cold path)
-	sessions map[*Session]struct{}
-	closed   sessionStats // counters absorbed from released sessions
+	// tracer collects structural events when Options.TraceRingSize > 0;
+	// gcRing receives epoch-advance events from the GC goroutine.
+	tracer *obs.Tracer
+	gcRing *obs.Ring
+
+	mu        sync.Mutex // guards sessions registry (cold path)
+	sessions  map[*Session]struct{}
+	closed    sessionStats        // counters absorbed from released sessions
+	latClosed obs.LatencySnapshot // histograms absorbed from released sessions
 }
 
 // getSlab returns a recycled or fresh slab for a new base node.
@@ -52,6 +60,13 @@ func New(opts Options) *Tree {
 		t.gc = epoch.NewCentralized(opts.GCInterval)
 	default:
 		t.gc = epoch.NewDecentralized(opts.GCInterval, opts.GCThreshold)
+	}
+	if opts.TraceRingSize > 0 {
+		t.tracer = obs.NewTracer(opts.TraceRingSize)
+		t.gcRing = t.tracer.Ring()
+		t.gc.SetAdvanceHook(func(e uint64) {
+			t.gcRing.Emit(obs.EvEpochAdvance, 0, e, 0)
+		})
 	}
 
 	t.root = t.mt.Allocate()
@@ -133,6 +148,17 @@ type Session struct {
 	h     epoch.Handle
 	stats sessionStats
 
+	// chases batches delta-chain pointer dereferences — the hottest
+	// counter, bumped once per delta record walked. It is owner-private
+	// (plain increments) and flushed into stats.pointerChases with one
+	// atomic add per completed operation.
+	chases uint64
+	// lat records per-class operation latencies when
+	// Options.LatencyHistograms is set; nil otherwise.
+	lat *obs.Recorder
+	// trace is the session's event ring when tracing is enabled.
+	trace *obs.Ring
+
 	// Scratch space reused across operations to keep the hot path
 	// allocation-free.
 	present    []uint64
@@ -144,39 +170,48 @@ type Session struct {
 }
 
 // sessionStats are the per-worker counters behind Stats and Table 2.
+// Each counter is written by its owning session and read concurrently by
+// Tree.Stats, so the fields are atomics; increments stay uncontended
+// single-writer adds.
 type sessionStats struct {
-	ops            uint64 // completed operations
-	aborts         uint64 // traversal restarts (failed CaS, ∆abort, ...)
-	consolidations uint64
-	splits         uint64
-	merges         uint64
-	slabFull       uint64 // pre-allocation slab exhaustion events
-	pointerChases  uint64 // delta-chain next-pointer dereferences
-	casFailures    uint64
-	leafSlabUsed   uint64 // slots claimed in retired leaf slabs
-	leafSlabCap    uint64 // slot capacity of retired leaf slabs
-	innerSlabUsed  uint64
-	innerSlabCap   uint64
+	ops            atomic.Uint64 // completed operations
+	aborts         atomic.Uint64 // traversal restarts (failed CaS, ∆abort, ...)
+	consolidations atomic.Uint64
+	splits         atomic.Uint64
+	merges         atomic.Uint64
+	slabFull       atomic.Uint64 // pre-allocation slab exhaustion events
+	pointerChases  atomic.Uint64 // delta-chain next-pointer dereferences
+	casFailures    atomic.Uint64
+	leafSlabUsed   atomic.Uint64 // slots claimed in retired leaf slabs
+	leafSlabCap    atomic.Uint64 // slot capacity of retired leaf slabs
+	innerSlabUsed  atomic.Uint64
+	innerSlabCap   atomic.Uint64
 }
 
 func (a *sessionStats) add(b *sessionStats) {
-	a.ops += b.ops
-	a.aborts += b.aborts
-	a.consolidations += b.consolidations
-	a.splits += b.splits
-	a.merges += b.merges
-	a.slabFull += b.slabFull
-	a.pointerChases += b.pointerChases
-	a.casFailures += b.casFailures
-	a.leafSlabUsed += b.leafSlabUsed
-	a.leafSlabCap += b.leafSlabCap
-	a.innerSlabUsed += b.innerSlabUsed
-	a.innerSlabCap += b.innerSlabCap
+	a.ops.Add(b.ops.Load())
+	a.aborts.Add(b.aborts.Load())
+	a.consolidations.Add(b.consolidations.Load())
+	a.splits.Add(b.splits.Load())
+	a.merges.Add(b.merges.Load())
+	a.slabFull.Add(b.slabFull.Load())
+	a.pointerChases.Add(b.pointerChases.Load())
+	a.casFailures.Add(b.casFailures.Load())
+	a.leafSlabUsed.Add(b.leafSlabUsed.Load())
+	a.leafSlabCap.Add(b.leafSlabCap.Load())
+	a.innerSlabUsed.Add(b.innerSlabUsed.Load())
+	a.innerSlabCap.Add(b.innerSlabCap.Load())
 }
 
 // NewSession registers a worker goroutine with the tree.
 func (t *Tree) NewSession() *Session {
 	s := &Session{t: t, h: t.gc.Register()}
+	if t.opts.LatencyHistograms {
+		s.lat = &obs.Recorder{}
+	}
+	if t.tracer != nil {
+		s.trace = t.tracer.Ring()
+	}
 	t.mu.Lock()
 	t.sessions[s] = struct{}{}
 	t.mu.Unlock()
@@ -189,11 +224,51 @@ func (s *Session) Release() {
 		return
 	}
 	s.released = true
+	if n := s.chases; n != 0 {
+		s.chases = 0
+		s.stats.pointerChases.Add(n)
+	}
 	s.t.mu.Lock()
 	delete(s.t.sessions, s)
 	s.t.closed.add(&s.stats)
+	if s.lat != nil {
+		s.lat.AddTo(&s.t.latClosed)
+	}
 	s.t.mu.Unlock()
+	if s.trace != nil {
+		s.t.tracer.Release(s.trace)
+		s.trace = nil
+	}
 	s.h.Unregister()
+}
+
+// opStart returns the operation start timestamp, or 0 when latency
+// histograms are disabled (the common case: one nil check).
+func (s *Session) opStart() int64 {
+	if s.lat == nil {
+		return 0
+	}
+	return obs.Now()
+}
+
+// opDone closes out one public operation: it counts the op, flushes the
+// batched pointer-chase counter, and records the latency when enabled.
+func (s *Session) opDone(c obs.OpClass, start int64) {
+	s.stats.ops.Add(1)
+	if n := s.chases; n != 0 {
+		s.chases = 0
+		s.stats.pointerChases.Add(n)
+	}
+	if s.lat != nil {
+		s.lat.Record(c, obs.Now()-start)
+	}
+}
+
+// emit records a structural event into the session's trace ring, if any.
+func (s *Session) emit(k obs.EventKind, node nodeID, a, b uint64) {
+	if s.trace != nil {
+		s.trace.Emit(k, node, a, b)
+	}
 }
 
 // Stats is a point-in-time aggregate of the tree's operation counters.
@@ -242,9 +317,10 @@ func (st Stats) InnerPreallocUtilization() float64 {
 	return float64(st.InnerSlabUsed) / float64(st.InnerSlabCap)
 }
 
-// Stats aggregates counters across live and released sessions. Live
-// counters are read without synchronization; the result is approximate
-// while operations are in flight and exact once workers are quiescent.
+// Stats aggregates counters across live and released sessions. Every
+// counter is an atomic, so concurrent reads are race-free; the result is
+// a consistent-enough aggregate while operations are in flight and exact
+// once workers are quiescent.
 func (t *Tree) Stats() Stats {
 	var agg sessionStats
 	t.mu.Lock()
@@ -254,18 +330,56 @@ func (t *Tree) Stats() Stats {
 	}
 	t.mu.Unlock()
 	return Stats{
-		Ops:            agg.ops,
-		Aborts:         agg.aborts,
-		Consolidations: agg.consolidations,
-		Splits:         agg.splits,
-		Merges:         agg.merges,
-		SlabFull:       agg.slabFull,
-		PointerChases:  agg.pointerChases,
-		CASFailures:    agg.casFailures,
-		LeafSlabUsed:   agg.leafSlabUsed,
-		LeafSlabCap:    agg.leafSlabCap,
-		InnerSlabUsed:  agg.innerSlabUsed,
-		InnerSlabCap:   agg.innerSlabCap,
+		Ops:            agg.ops.Load(),
+		Aborts:         agg.aborts.Load(),
+		Consolidations: agg.consolidations.Load(),
+		Splits:         agg.splits.Load(),
+		Merges:         agg.merges.Load(),
+		SlabFull:       agg.slabFull.Load(),
+		PointerChases:  agg.pointerChases.Load(),
+		CASFailures:    agg.casFailures.Load(),
+		LeafSlabUsed:   agg.leafSlabUsed.Load(),
+		LeafSlabCap:    agg.leafSlabCap.Load(),
+		InnerSlabUsed:  agg.innerSlabUsed.Load(),
+		InnerSlabCap:   agg.innerSlabCap.Load(),
 		GC:             t.gc.Stats(),
 	}
+}
+
+// Latencies merges every session's latency histograms (live and
+// released) into one snapshot. Returns nil unless the tree was built
+// with Options.LatencyHistograms.
+func (t *Tree) Latencies() *obs.LatencySnapshot {
+	if !t.opts.LatencyHistograms {
+		return nil
+	}
+	snap := &obs.LatencySnapshot{}
+	t.mu.Lock()
+	snap.Merge(&t.latClosed)
+	for s := range t.sessions {
+		if s.lat != nil {
+			s.lat.AddTo(snap)
+		}
+	}
+	t.mu.Unlock()
+	return snap
+}
+
+// TraceEvents drains the structural event tracer into one stream ordered
+// by sequence number. Returns nil unless Options.TraceRingSize > 0.
+// Draining is destructive: each event is returned once.
+func (t *Tree) TraceEvents() []obs.Event {
+	if t.tracer == nil {
+		return nil
+	}
+	return t.tracer.Drain()
+}
+
+// TraceDropped returns how many trace events were lost to ring
+// wraparound before they could be drained.
+func (t *Tree) TraceDropped() uint64 {
+	if t.tracer == nil {
+		return 0
+	}
+	return t.tracer.Dropped()
 }

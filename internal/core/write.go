@@ -1,6 +1,10 @@
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"repro/internal/obs"
+)
 
 // abortBackoff records a traversal abort and, after a couple of
 // consecutive failures, yields the processor: the restart is usually
@@ -8,7 +12,8 @@ import "runtime"
 // parent), and on hosts with few cores a tight restart loop can starve
 // the very goroutine it is waiting for.
 func (s *Session) abortBackoff(spins *int) {
-	s.stats.aborts++
+	s.stats.aborts.Add(1)
+	s.emit(obs.EvAbort, 0, 0, 0)
 	*spins++
 	if *spins > 2 {
 		runtime.Gosched()
@@ -44,7 +49,7 @@ func (s *Session) appendLeaf(tr *traversal, k kind, key []byte, value, oldValue 
 	d := s.allocDelta(head)
 	if d == nil {
 		// Slab exhaustion triggers a consolidation (§4.1) and a restart.
-		s.stats.slabFull++
+		s.stats.slabFull.Add(1)
 		s.consolidate(tr, head)
 		return false
 	}
@@ -56,7 +61,7 @@ func (s *Session) appendLeaf(tr *traversal, k kind, key []byte, value, oldValue 
 	d.size = head.size + sizeDelta
 	d.offset = off
 	if !s.t.cas(tr.id, head, d) {
-		s.stats.casFailures++
+		s.stats.casFailures.Add(1)
 		return false
 	}
 	s.maybeConsolidateTr(tr, d)
@@ -70,6 +75,7 @@ func (s *Session) Insert(key []byte, value uint64) bool {
 	checkKey(key)
 	s.h.Enter()
 	defer s.h.Exit()
+	defer s.opDone(obs.OpInsert, s.opStart())
 	spins := 0
 	for {
 		var tr traversal
@@ -80,30 +86,25 @@ func (s *Session) Insert(key []byte, value uint64) bool {
 		if s.t.opts.InPlaceLeafUpdates {
 			ok, inserted := s.insertInPlace(&tr, key, value)
 			if ok {
-				s.stats.ops++
 				return inserted
 			}
-			s.stats.aborts++
+			s.stats.aborts.Add(1)
 			continue
 		}
 		if s.t.opts.NonUnique {
 			r := s.leafSeekPair(tr.head, key, value)
 			if r.found {
-				s.stats.ops++
 				return false
 			}
 			if s.appendLeaf(&tr, kLeafInsert, key, value, 0, +1, r.baseOff) {
-				s.stats.ops++
 				return true
 			}
 		} else {
 			r := s.leafSeek(tr.head, key)
 			if r.found {
-				s.stats.ops++
 				return false
 			}
 			if s.appendLeaf(&tr, kLeafInsert, key, value, 0, +1, r.baseOff) {
-				s.stats.ops++
 				return true
 			}
 		}
@@ -117,6 +118,7 @@ func (s *Session) Delete(key []byte, value uint64) bool {
 	checkKey(key)
 	s.h.Enter()
 	defer s.h.Exit()
+	defer s.opDone(obs.OpDelete, s.opStart())
 	spins := 0
 	for {
 		var tr traversal
@@ -127,30 +129,25 @@ func (s *Session) Delete(key []byte, value uint64) bool {
 		if s.t.opts.InPlaceLeafUpdates {
 			ok, deleted := s.deleteInPlace(&tr, key, value)
 			if ok {
-				s.stats.ops++
 				return deleted
 			}
-			s.stats.aborts++
+			s.stats.aborts.Add(1)
 			continue
 		}
 		if s.t.opts.NonUnique {
 			r := s.leafSeekPair(tr.head, key, value)
 			if !r.found {
-				s.stats.ops++
 				return false
 			}
 			if s.appendLeaf(&tr, kLeafDelete, key, value, 0, -1, r.baseOff) {
-				s.stats.ops++
 				return true
 			}
 		} else {
 			r := s.leafSeek(tr.head, key)
 			if !r.found {
-				s.stats.ops++
 				return false
 			}
 			if s.appendLeaf(&tr, kLeafDelete, key, r.value, 0, -1, r.baseOff) {
-				s.stats.ops++
 				return true
 			}
 		}
@@ -166,6 +163,7 @@ func (s *Session) Update(key []byte, value uint64) bool {
 	checkKey(key)
 	s.h.Enter()
 	defer s.h.Exit()
+	defer s.opDone(obs.OpUpdate, s.opStart())
 	spins := 0
 	for {
 		var tr traversal
@@ -178,24 +176,20 @@ func (s *Session) Update(key []byte, value uint64) bool {
 		if s.t.opts.NonUnique {
 			r := s.leafSeekFirstVisible(tr.head, key)
 			if !r.found {
-				s.stats.ops++
 				return false
 			}
 			old, off = r.value, r.baseOff
 		} else {
 			r := s.leafSeek(tr.head, key)
 			if !r.found {
-				s.stats.ops++
 				return false
 			}
 			old, off = r.value, r.baseOff
 		}
 		if old == value {
-			s.stats.ops++
 			return true
 		}
 		if s.appendLeaf(&tr, kLeafUpdate, key, value, old, 0, off) {
-			s.stats.ops++
 			return true
 		}
 		s.abortBackoff(&spins)
@@ -208,6 +202,7 @@ func (s *Session) UpdateValue(key []byte, oldValue, newValue uint64) bool {
 	checkKey(key)
 	s.h.Enter()
 	defer s.h.Exit()
+	defer s.opDone(obs.OpUpdate, s.opStart())
 	spins := 0
 	for {
 		var tr traversal
@@ -217,22 +212,18 @@ func (s *Session) UpdateValue(key []byte, oldValue, newValue uint64) bool {
 		}
 		r := s.leafSeekPair(tr.head, key, oldValue)
 		if !r.found {
-			s.stats.ops++
 			return false
 		}
 		if oldValue == newValue {
-			s.stats.ops++
 			return true
 		}
 		if nr := s.leafSeekPair(tr.head, key, newValue); nr.found {
 			// The target pair already exists: reduce to a delete of the
 			// old pair.
 			if s.appendLeaf(&tr, kLeafDelete, key, oldValue, 0, -1, r.baseOff) {
-				s.stats.ops++
 				return true
 			}
 		} else if s.appendLeaf(&tr, kLeafUpdate, key, newValue, oldValue, 0, r.baseOff) {
-			s.stats.ops++
 			return true
 		}
 		s.abortBackoff(&spins)
@@ -245,6 +236,7 @@ func (s *Session) Lookup(key []byte, out []uint64) []uint64 {
 	checkKey(key)
 	s.h.Enter()
 	defer s.h.Exit()
+	defer s.opDone(obs.OpRead, s.opStart())
 	spins := 0
 	for {
 		var tr traversal
@@ -252,7 +244,6 @@ func (s *Session) Lookup(key []byte, out []uint64) []uint64 {
 			s.abortBackoff(&spins)
 			continue
 		}
-		s.stats.ops++
 		if s.t.opts.NonUnique {
 			out, _ = s.collectValues(tr.head, key, out)
 			return out

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/ycsb"
 )
 
@@ -53,6 +54,7 @@ func Experiments() []Experiment {
 		{"fig16", "High-contention (Mono-HC) insert throughput", Fig16},
 		{"fig17", "Normal vs high-contention Insert-only", Fig17},
 		{"fig18", "Feature decomposition (-DC, -CAS, -MT, -DU)", Fig18},
+		{"latency", "Operation latency percentiles, Bw-Tree vs OpenBw-Tree", Latency},
 	}
 }
 
@@ -492,6 +494,41 @@ func Fig18(w io.Writer, sc Scale) {
 }
 
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Latency reports operation latency percentiles (the tail behaviour the
+// throughput figures hide) for the baseline Bw-Tree and the OpenBw-Tree
+// across all workloads on Rand-Int keys. The harness times every call at
+// the session boundary, so the numbers include the full abort/retry
+// cost of each public operation.
+func Latency(w io.Writer, sc Scale) {
+	variants := []struct {
+		label string
+		mk    func() index.Index
+	}{
+		{"Bw-Tree", index.NewBaselineBwTree},
+		{"OpenBw-Tree", index.NewOpenBwTree},
+	}
+	for _, v := range variants {
+		tbl := NewTable(fmt.Sprintf("Latency: %s — Rand-Int (%d threads, µs)", v.label, sc.Threads),
+			"Mops/s", "p50", "p90", "p99", "p99.9")
+		for _, wl := range ycsb.AllWorkloads() {
+			cfg := Config{Workload: wl, KeyType: ycsb.RandInt, Keys: sc.Keys, Ops: sc.Ops,
+				Threads: sc.Threads, Seed: sc.Seed, MeasureLatency: true}
+			res := Run(v.mk, cfg)
+			var all obs.HistSnapshot
+			for c := obs.OpClass(0); c < obs.NumOpClasses; c++ {
+				all.Merge(res.Lat.Class(c))
+			}
+			tbl.AddRow(wl.String(), f3(res.RunMops),
+				fmt.Sprintf("%.2f", all.Quantile(0.50)/1e3),
+				fmt.Sprintf("%.2f", all.Quantile(0.90)/1e3),
+				fmt.Sprintf("%.2f", all.Quantile(0.99)/1e3),
+				fmt.Sprintf("%.2f", all.Quantile(0.999)/1e3))
+		}
+		tbl.Note("Percentiles from log-bucketed histograms (≤6.25%% bucket width), recorded per call at the session boundary.")
+		tbl.WriteTo(w)
+	}
+}
 
 // RunAll executes every experiment in order.
 func RunAll(w io.Writer, sc Scale) {

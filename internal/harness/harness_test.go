@@ -109,3 +109,34 @@ func TestFormatBytes(t *testing.T) {
 		t.Fatalf("got %q", got)
 	}
 }
+
+func TestRunMeasuresLatency(t *testing.T) {
+	res := Run(index.NewOpenBwTree, Config{
+		Workload: ycsb.ReadUpdate, KeyType: ycsb.RandInt,
+		Keys: 2000, Ops: 4000, Threads: 2, Seed: 5, MeasureLatency: true,
+	})
+	if res.Lat == nil {
+		t.Fatal("MeasureLatency set but Result.Lat is nil")
+	}
+	if got := res.Lat.Total(); got != 4000 {
+		t.Fatalf("latency observations = %d, want 4000", got)
+	}
+	sum := res.Lat.Summary()
+	if _, ok := sum["read"]; !ok {
+		t.Fatalf("latency summary missing read class: %v", sum)
+	}
+	for class, q := range sum {
+		if q["p99_us"] < q["p50_us"] {
+			t.Fatalf("%s: p99 %v below p50 %v", class, q["p99_us"], q["p50_us"])
+		}
+	}
+
+	// Latency off (default): no recorder allocated.
+	res = Run(index.NewOpenBwTree, Config{
+		Workload: ycsb.ReadOnly, KeyType: ycsb.RandInt,
+		Keys: 1000, Ops: 1000, Threads: 1, Seed: 5,
+	})
+	if res.Lat != nil {
+		t.Fatal("Result.Lat non-nil without MeasureLatency")
+	}
+}

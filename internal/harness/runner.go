@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/ycsb"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	Seed uint64
 	// MeasureMemory enables live-heap measurement (forces GC twice).
 	MeasureMemory bool
+	// MeasureLatency records per-operation latency histograms during the
+	// run phase into Result.Lat. Independent of the index's own
+	// histograms: the harness times each call at the session boundary, so
+	// it works for every index, not just the Bw-Tree.
+	MeasureLatency bool
 }
 
 // Result is one run's measurements.
@@ -48,6 +54,9 @@ type Result struct {
 	Bytes uint64
 	// Ops is the number of operations the run phase completed.
 	Ops int
+	// Lat holds run-phase latency histograms when Config.MeasureLatency
+	// was set; nil otherwise.
+	Lat *obs.LatencySnapshot
 }
 
 // Run executes one benchmark: build the index with mk, load the
@@ -79,15 +88,25 @@ func Run(mk func() index.Index, cfg Config) Result {
 		// HC keys are generated on the fly; load nothing.
 		loadOps = 0
 	}
+	var lat *obs.LatencySnapshot
+	if cfg.MeasureLatency {
+		lat = &obs.LatencySnapshot{}
+	}
 	if loadOps > 0 {
-		dur := RunPhase(idx, ks, ycsb.InsertOnly, loadOps, cfg.Threads, cfg.Seed)
+		// For Insert-only configs the load phase is the measured run, so
+		// latency collection (when requested) must cover it; for mixed
+		// workloads the load is just setup and stays uninstrumented.
+		loadLat := lat
+		if cfg.Workload != ycsb.InsertOnly {
+			loadLat = nil
+		}
+		dur := RunPhaseLat(idx, ks, ycsb.InsertOnly, loadOps, cfg.Threads, cfg.Seed, loadLat)
 		res.LoadMops = mops(loadOps, dur)
 	}
-
 	if cfg.Workload == ycsb.InsertOnly {
 		if loadOps == 0 {
 			// Mono-HC Insert-only: the run phase does the inserting.
-			dur := RunPhase(idx, ks, ycsb.InsertOnly, cfg.Ops, cfg.Threads, cfg.Seed)
+			dur := RunPhaseLat(idx, ks, ycsb.InsertOnly, cfg.Ops, cfg.Threads, cfg.Seed, lat)
 			res.RunMops = mops(cfg.Ops, dur)
 			res.Ops = cfg.Ops
 		} else {
@@ -95,10 +114,11 @@ func Run(mk func() index.Index, cfg Config) Result {
 			res.Ops = loadOps
 		}
 	} else {
-		dur := RunPhase(idx, ks, cfg.Workload, cfg.Ops, cfg.Threads, cfg.Seed+1)
+		dur := RunPhaseLat(idx, ks, cfg.Workload, cfg.Ops, cfg.Threads, cfg.Seed+1, lat)
 		res.RunMops = mops(cfg.Ops, dur)
 		res.Ops = cfg.Ops
 	}
+	res.Lat = lat
 
 	if cfg.MeasureMemory {
 		var after runtime.MemStats
@@ -121,8 +141,16 @@ func mops(ops int, dur time.Duration) float64 {
 // RunPhase executes ops operations of workload w across threads workers
 // and returns the wall-clock duration.
 func RunPhase(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads int, seed uint64) time.Duration {
+	return RunPhaseLat(idx, ks, w, ops, threads, seed, nil)
+}
+
+// RunPhaseLat is RunPhase with optional latency collection: when lat is
+// non-nil each worker records every operation's duration into a private
+// recorder, merged into lat after the barrier.
+func RunPhaseLat(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads int, seed uint64, lat *obs.LatencySnapshot) time.Duration {
 	perWorker := ops / threads
 	extra := ops % threads
+	recs := make([]*obs.Recorder, threads)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for t := 0; t < threads; t++ {
@@ -136,24 +164,60 @@ func RunPhase(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads in
 			s := idx.NewSession()
 			defer s.Release()
 			stream := ycsb.NewStream(w, ks, worker, seed+uint64(worker)*0x9E37)
+			var rec *obs.Recorder
+			if lat != nil {
+				rec = &obs.Recorder{}
+				recs[worker] = rec
+			}
 			var out []uint64
+			if rec == nil {
+				for i := 0; i < n; i++ {
+					op := stream.Next()
+					switch op.Kind {
+					case ycsb.OpRead:
+						out = s.Lookup(op.Key, out[:0])
+					case ycsb.OpUpdate:
+						s.Update(op.Key, op.Value)
+					case ycsb.OpInsert:
+						s.Insert(op.Key, op.Value)
+					case ycsb.OpScan:
+						s.Scan(op.Key, op.ScanLen, visitNop)
+					}
+				}
+				return
+			}
 			for i := 0; i < n; i++ {
 				op := stream.Next()
+				t0 := obs.Now()
+				var class obs.OpClass
 				switch op.Kind {
 				case ycsb.OpRead:
 					out = s.Lookup(op.Key, out[:0])
+					class = obs.OpRead
 				case ycsb.OpUpdate:
 					s.Update(op.Key, op.Value)
+					class = obs.OpUpdate
 				case ycsb.OpInsert:
 					s.Insert(op.Key, op.Value)
+					class = obs.OpInsert
 				case ycsb.OpScan:
 					s.Scan(op.Key, op.ScanLen, visitNop)
+					class = obs.OpScan
 				}
+				rec.Record(class, obs.Now()-t0)
 			}
 		}(t, n)
 	}
 	wg.Wait()
-	return time.Since(start)
+	dur := time.Since(start)
+	if lat != nil {
+		for _, rec := range recs {
+			if rec != nil {
+				rec.AddTo(lat)
+			}
+		}
+	}
+	return dur
 }
 
 func visitNop(k []byte, v uint64) bool { return true }

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Vars is the pull-based data source behind a debug server. Any field
+// may be nil; the corresponding surface is simply absent.
+type Vars struct {
+	// Counters returns monotonic counters; the sampler derives
+	// "<name>_per_sec" rates from their deltas.
+	Counters func() map[string]uint64
+	// Gauges returns point-in-time values (ratios, utilizations).
+	Gauges func() map[string]float64
+	// Latency returns the current latency snapshot.
+	Latency func() *LatencySnapshot
+	// Trace drains the event tracer. Draining is destructive, so the
+	// /debug/trace endpoint consumes events.
+	Trace func() []Event
+	// TraceDropped returns the cumulative wraparound-loss count.
+	TraceDropped func() uint64
+}
+
+// expvarHolder lets the process-global expvar name "bwtree" follow the
+// most recently started debug server (expvar cannot unpublish).
+var expvarHolder struct {
+	mu   sync.Mutex
+	fn   func() any
+	once sync.Once
+}
+
+func publishExpvar(fn func() any) {
+	expvarHolder.mu.Lock()
+	expvarHolder.fn = fn
+	expvarHolder.mu.Unlock()
+	expvarHolder.once.Do(func() {
+		expvar.Publish("bwtree", expvar.Func(func() any {
+			expvarHolder.mu.Lock()
+			f := expvarHolder.fn
+			expvarHolder.mu.Unlock()
+			if f == nil {
+				return nil
+			}
+			return f()
+		}))
+	})
+}
+
+// Server is a live debug surface: expvar at /debug/vars, pprof under
+// /debug/pprof/, and JSON endpoints for stats, latency quantiles, and
+// the event trace.
+type Server struct {
+	srv     *http.Server
+	ln      net.Listener
+	sampler *Sampler
+	closeOn sync.Once
+}
+
+// Serve starts a debug server on addr (host:port; port 0 picks a free
+// one) backed by v, sampling counter rates every sampleEvery (0 → 1s).
+func Serve(addr string, v Vars, sampleEvery time.Duration) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	var sampler *Sampler
+	if v.Counters != nil {
+		sampler = NewSampler(sampleEvery, v.Counters)
+	}
+	s := &Server{ln: ln, sampler: sampler}
+	mux := Mux(v, sampler)
+	s.srv = &http.Server{Handler: mux}
+	publishExpvar(func() any { return debugSnapshot(v, sampler) })
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and its sampler.
+func (s *Server) Close() error {
+	var err error
+	s.closeOn.Do(func() {
+		if s.sampler != nil {
+			s.sampler.Close()
+		}
+		err = s.srv.Close()
+	})
+	return err
+}
+
+// debugSnapshot assembles the composite JSON value served under the
+// expvar name "bwtree" and at /debug/stats.
+func debugSnapshot(v Vars, sampler *Sampler) map[string]any {
+	out := map[string]any{}
+	if v.Counters != nil {
+		out["counters"] = v.Counters()
+	}
+	if v.Gauges != nil {
+		out["gauges"] = v.Gauges()
+	}
+	if sampler != nil {
+		out["rates"] = sampler.Rates()
+	}
+	if v.Latency != nil {
+		if snap := v.Latency(); snap != nil {
+			out["latency"] = snap.Summary()
+		}
+	}
+	if v.TraceDropped != nil {
+		out["trace_dropped"] = v.TraceDropped()
+	}
+	return out
+}
+
+// Mux builds the debug request router; exposed separately so servers
+// embedding the surface into an existing listener can mount it.
+func Mux(v Vars, sampler *Sampler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	writeJSON := func(w http.ResponseWriter, val any) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(val)
+	}
+	mux.HandleFunc("/debug/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, debugSnapshot(Vars{Counters: v.Counters, Gauges: v.Gauges,
+			Latency: v.Latency, TraceDropped: v.TraceDropped}, sampler))
+	})
+	mux.HandleFunc("/debug/latency", func(w http.ResponseWriter, r *http.Request) {
+		if v.Latency == nil {
+			http.Error(w, "latency histograms disabled", http.StatusNotFound)
+			return
+		}
+		snap := v.Latency()
+		if snap == nil {
+			http.Error(w, "latency histograms disabled", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, snap.Summary())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if v.Trace == nil {
+			http.Error(w, "event tracing disabled", http.StatusNotFound)
+			return
+		}
+		events := v.Trace()
+		if n := intQuery(r, "n"); n > 0 && n < len(events) {
+			events = events[len(events)-n:]
+		}
+		resp := map[string]any{"events": events}
+		if v.TraceDropped != nil {
+			resp["dropped"] = v.TraceDropped()
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/debug", func(w http.ResponseWriter, r *http.Request) {
+		paths := []string{
+			"/debug/vars", "/debug/stats", "/debug/latency", "/debug/trace",
+			"/debug/pprof/",
+		}
+		sort.Strings(paths)
+		w.Header().Set("Content-Type", "text/plain")
+		for _, p := range paths {
+			fmt.Fprintln(w, p)
+		}
+	})
+	return mux
+}
+
+func intQuery(r *http.Request, key string) int {
+	var n int
+	fmt.Sscanf(r.URL.Query().Get(key), "%d", &n)
+	return n
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundsCoverValue(t *testing.T) {
+	vals := []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1023, 1024, 1 << 20, 1 << 34, 1 << 40}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		if lo := bucketLow(idx); v < lo {
+			t.Errorf("value %d below its bucket %d low bound %d", v, idx, lo)
+		}
+		if idx < NumBuckets-1 {
+			if hi := bucketHigh(idx); v >= hi {
+				t.Errorf("value %d at/above its bucket %d high bound %d", v, idx, hi)
+			}
+		}
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	prev := -1
+	for v := uint64(0); v < 1<<16; v++ {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+func TestQuantileAgainstSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	n := 20000
+	vals := make([]uint64, n)
+	for i := range vals {
+		// Log-uniform spread over ~6 decades, like real latencies.
+		v := uint64(100 * (1 << uint(rng.Intn(20))))
+		v += uint64(rng.Intn(int(v/8 + 1)))
+		vals[i] = v
+		h.RecordNS(int64(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+
+	var s HistSnapshot
+	h.AddTo(&s)
+	if got := s.Total(); got != uint64(n) {
+		t.Fatalf("Total = %d, want %d", got, n)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		oracle := float64(vals[int(q*float64(n-1))])
+		got := s.Quantile(q)
+		// The estimate must fall within the oracle's bucket: relative
+		// error bounded by one bucket width (6.25%) plus interpolation.
+		if got < oracle*0.9 || got > oracle*1.1 {
+			t.Errorf("Quantile(%v) = %.0f, oracle %.0f (>10%% off)", q, got, oracle)
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.RecordNS(int64(i))
+		b.RecordNS(int64(i * 1000))
+	}
+	var sa, sb HistSnapshot
+	a.AddTo(&sa)
+	b.AddTo(&sb)
+	merged := sa
+	merged.Merge(&sb)
+	if got, want := merged.Total(), sa.Total()+sb.Total(); got != want {
+		t.Fatalf("merged Total = %d, want %d", got, want)
+	}
+	if got, want := merged.Sum, sa.Sum+sb.Sum; got != want {
+		t.Fatalf("merged Sum = %d, want %d", got, want)
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var s HistSnapshot
+	if got := s.Quantile(0.99); got != 0 {
+		t.Fatalf("empty Quantile = %v, want 0", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty Mean = %v, want 0", got)
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	var rec Recorder
+	const records = 100000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < records; i++ {
+			rec.Record(OpClass(i%int64(NumOpClasses)), i%100000)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		var s LatencySnapshot
+		rec.AddTo(&s)
+		_ = s.Total()
+		_ = s.Class(OpRead).Quantile(0.99)
+	}
+	wg.Wait()
+
+	var final LatencySnapshot
+	rec.AddTo(&final)
+	if final.Total() == 0 {
+		t.Fatal("no observations recorded")
+	}
+	if len(final.Summary()) == 0 {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRecorderClasses(t *testing.T) {
+	var rec Recorder
+	rec.Record(OpInsert, 1000)
+	rec.Record(OpScan, 2000)
+	var s LatencySnapshot
+	rec.AddTo(&s)
+	if got := s.Class(OpInsert).Total(); got != 1 {
+		t.Fatalf("insert count = %d, want 1", got)
+	}
+	if got := s.Class(OpRead).Total(); got != 0 {
+		t.Fatalf("read count = %d, want 0", got)
+	}
+	sum := s.Summary()
+	if _, ok := sum["insert"]; !ok {
+		t.Fatal("summary missing insert class")
+	}
+	if _, ok := sum["read"]; ok {
+		t.Fatal("summary includes empty read class")
+	}
+}

@@ -1,0 +1,48 @@
+// Package obs is the tree's observability layer: allocation-free
+// log-bucketed latency histograms, a structured SMO/GC event tracer, a
+// counter-delta rate sampler, and a live /debug HTTP surface built from
+// expvar and net/http/pprof.
+//
+// The package is stdlib-only and imports nothing from the rest of the
+// module, so every layer (core, epoch, harness, commands) can depend on
+// it without cycles. Everything here is designed for two regimes:
+//
+//   - disabled (the default): zero allocations and a single nil check on
+//     the hot path;
+//   - enabled: recording stays allocation-free and lock-free (atomic
+//     adds into per-session fixed-size arrays), with aggregation cost
+//     paid only by the reader.
+package obs
+
+import "time"
+
+// OpClass partitions public index operations for latency accounting.
+type OpClass uint8
+
+const (
+	OpInsert OpClass = iota
+	OpUpdate
+	OpDelete
+	OpRead
+	OpScan
+	// NumOpClasses bounds arrays indexed by OpClass.
+	NumOpClasses
+)
+
+var opClassNames = [NumOpClasses]string{"insert", "update", "delete", "read", "scan"}
+
+// String returns the lower-case class name used in reports and JSON.
+func (c OpClass) String() string {
+	if int(c) < len(opClassNames) {
+		return opClassNames[c]
+	}
+	return "unknown"
+}
+
+// epoch anchors Now; time.Since reads the monotonic clock.
+var epoch = time.Now()
+
+// Now returns monotonic nanoseconds since process start. It is the
+// timestamp source for histograms and trace events: cheap (one vDSO
+// clock read), monotonic, and comparable across goroutines.
+func Now() int64 { return int64(time.Since(epoch)) }

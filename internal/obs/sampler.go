@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Sampler turns monotonic counters into rates: a background goroutine
+// fetches a counter map every interval and publishes the per-second
+// delta of each key under "<key>_per_sec".
+type Sampler struct {
+	fetch    func() map[string]uint64
+	interval time.Duration
+
+	mu     sync.Mutex
+	prev   map[string]uint64
+	prevAt time.Time
+	rates  map[string]float64
+
+	stop    chan struct{}
+	done    chan struct{}
+	closeOn sync.Once
+}
+
+// NewSampler starts a sampler over fetch. A zero interval defaults to
+// one second.
+func NewSampler(interval time.Duration, fetch func() map[string]uint64) *Sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Sampler{
+		fetch:    fetch,
+		interval: interval,
+		rates:    map[string]float64{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	s.sample(time.Now()) // baseline
+	go s.run()
+	return s
+}
+
+func (s *Sampler) run() {
+	defer close(s.done)
+	ticker := time.NewTicker(s.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-ticker.C:
+			s.sample(now)
+		}
+	}
+}
+
+// sample fetches the counters and folds deltas into rates.
+func (s *Sampler) sample(now time.Time) {
+	cur := s.fetch()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.prev != nil {
+		dt := now.Sub(s.prevAt).Seconds()
+		if dt > 0 {
+			rates := make(map[string]float64, len(cur))
+			for k, v := range cur {
+				rates[k+"_per_sec"] = float64(v-s.prev[k]) / dt
+			}
+			s.rates = rates
+		}
+	}
+	s.prev = cur
+	s.prevAt = now
+}
+
+// Rates returns the most recent per-second rates (a copy).
+func (s *Sampler) Rates() map[string]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]float64, len(s.rates))
+	for k, v := range s.rates {
+		out[k] = v
+	}
+	return out
+}
+
+// Close stops the background goroutine.
+func (s *Sampler) Close() {
+	s.closeOn.Do(func() {
+		close(s.stop)
+		<-s.done
+	})
+}

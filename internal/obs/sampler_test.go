@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSamplerRates(t *testing.T) {
+	var ctr atomic.Uint64
+	s := NewSampler(time.Hour, func() map[string]uint64 {
+		return map[string]uint64{"ops": ctr.Load()}
+	})
+	defer s.Close()
+
+	// Drive sample() directly for determinism: 1000 ops over 2 seconds.
+	base := time.Now()
+	ctr.Store(1000)
+	s.sample(base.Add(2 * time.Second))
+	rates := s.Rates()
+	got := rates["ops_per_sec"]
+	if got < 499 || got > 501 {
+		t.Fatalf("ops_per_sec = %v, want ~500", got)
+	}
+
+	// No growth → zero rate.
+	s.sample(base.Add(3 * time.Second))
+	if got := s.Rates()["ops_per_sec"]; got != 0 {
+		t.Fatalf("idle ops_per_sec = %v, want 0", got)
+	}
+}
+
+func TestSamplerBackground(t *testing.T) {
+	var ctr atomic.Uint64
+	s := NewSampler(5*time.Millisecond, func() map[string]uint64 {
+		return map[string]uint64{"ops": ctr.Add(100)}
+	})
+	defer s.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Rates()["ops_per_sec"] > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("background sampler never produced a positive rate")
+}
+
+func TestSamplerCloseIdempotent(t *testing.T) {
+	s := NewSampler(time.Hour, func() map[string]uint64 { return nil })
+	s.Close()
+	s.Close()
+}

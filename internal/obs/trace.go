@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// EventKind enumerates the structural events the tracer records.
+type EventKind uint8
+
+const (
+	// EvSplit: a node published a ∆split (node = left, A = new right
+	// sibling's ID, B = left-half item count).
+	EvSplit EventKind = iota
+	// EvMerge: a node was merged away (node = victim, A = absorbing left
+	// sibling's ID).
+	EvMerge
+	// EvConsolidate: a chain was folded into a fresh base (node = ID,
+	// A = chain depth folded, B = resulting item count).
+	EvConsolidate
+	// EvAbort: a traversal restarted from the root.
+	EvAbort
+	// EvEpochAdvance: the GC's global epoch advanced (A = epoch/advance
+	// count).
+	EvEpochAdvance
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"split", "merge", "consolidate", "abort", "epoch-advance",
+}
+
+// String returns the kind's report name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its name.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses a kind name produced by MarshalJSON.
+func (k *EventKind) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range eventKindNames {
+		if n == name {
+			*k = EventKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown event kind %q", name)
+}
+
+// Event is one structural-modification or GC occurrence. Seq is drawn
+// from the tracer's global counter, so sorting a drained batch by Seq
+// reconstructs the tree-wide order in which events were initiated.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Time int64     `json:"time_ns"` // obs.Now() at emission
+	Kind EventKind `json:"kind"`
+	Node uint64    `json:"node"`
+	A    uint64    `json:"a,omitempty"`
+	B    uint64    `json:"b,omitempty"`
+}
+
+// Tracer owns a set of fixed-size per-session event rings and a global
+// sequence counter. Sessions emit into their private ring (one short
+// uncontended critical section per event — events are SMO-rate, not
+// op-rate); Drain gathers every ring into one stream ordered by Seq.
+type Tracer struct {
+	ringSize int
+	seq      atomic.Uint64
+	dropped  atomic.Uint64
+
+	mu    sync.Mutex
+	rings []*Ring
+	free  []*Ring
+}
+
+// NewTracer returns a tracer whose rings hold ringSize events each.
+func NewTracer(ringSize int) *Tracer {
+	if ringSize <= 0 {
+		ringSize = 256
+	}
+	return &Tracer{ringSize: ringSize}
+}
+
+// RingSize returns the per-ring capacity.
+func (t *Tracer) RingSize() int { return t.ringSize }
+
+// Ring returns a ring for one emitting goroutine, reusing a released
+// one when available (its undrained events are preserved).
+func (t *Tracer) Ring() *Ring {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.free); n > 0 {
+		r := t.free[n-1]
+		t.free = t.free[:n-1]
+		return r
+	}
+	r := &Ring{tr: t, buf: make([]Event, t.ringSize)}
+	t.rings = append(t.rings, r)
+	return r
+}
+
+// Release returns a ring to the reuse pool. Its events stay drainable.
+func (t *Tracer) Release(r *Ring) {
+	if r == nil {
+		return
+	}
+	t.mu.Lock()
+	t.free = append(t.free, r)
+	t.mu.Unlock()
+}
+
+// Drain removes every buffered event from every ring and returns them as
+// one stream sorted by sequence number. Events overwritten before a
+// drain are counted by Dropped.
+func (t *Tracer) Drain() []Event {
+	t.mu.Lock()
+	rings := make([]*Ring, len(t.rings))
+	copy(rings, t.rings)
+	t.mu.Unlock()
+
+	var out []Event
+	for _, r := range rings {
+		out = r.drain(out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dropped returns the cumulative count of events lost to ring
+// wraparound before they could be drained.
+func (t *Tracer) Dropped() uint64 { return t.dropped.Load() }
+
+// Ring is a fixed-size event buffer owned by one emitting goroutine.
+// Emission and draining synchronize on a private mutex; the critical
+// sections are a few stores long, and events are rare relative to
+// operations, so the lock is effectively uncontended.
+type Ring struct {
+	tr *Tracer
+
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever emitted into this ring
+}
+
+// Emit records one event. The sequence number is drawn from the
+// tracer's global counter before the slot is filled, so per-ring slot
+// order matches sequence order (one writer per ring).
+func (r *Ring) Emit(kind EventKind, node, a, b uint64) {
+	ev := Event{
+		Seq:  r.tr.seq.Add(1),
+		Time: Now(),
+		Kind: kind,
+		Node: node,
+		A:    a,
+		B:    b,
+	}
+	r.mu.Lock()
+	if r.next >= uint64(len(r.buf)) {
+		r.tr.dropped.Add(1)
+	}
+	r.buf[r.next%uint64(len(r.buf))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// drain appends the ring's buffered events (oldest first) to out and
+// resets it.
+func (r *Ring) drain(out []Event) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := uint64(len(r.buf))
+	n := r.next
+	if n > size {
+		n = size
+	}
+	// Oldest surviving event first: the ring holds the last n emissions,
+	// ending at position (r.next-1)%size.
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.buf[(r.next-n+i)%size])
+	}
+	r.next = 0
+	return out
+}

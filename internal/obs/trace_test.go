@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTracerOrderedDrain(t *testing.T) {
+	tr := NewTracer(64)
+	r1, r2 := tr.Ring(), tr.Ring()
+	// Interleave emissions across two rings.
+	for i := uint64(0); i < 10; i++ {
+		r1.Emit(EvSplit, i, 0, 0)
+		r2.Emit(EvMerge, i, 0, 0)
+	}
+	events := tr.Drain()
+	if len(events) != 20 {
+		t.Fatalf("drained %d events, want 20", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("drain not ordered: seq %d after %d", events[i].Seq, events[i-1].Seq)
+		}
+	}
+	if again := tr.Drain(); len(again) != 0 {
+		t.Fatalf("second drain returned %d events, want 0", len(again))
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(8)
+	r := tr.Ring()
+	for i := uint64(0); i < 20; i++ {
+		r.Emit(EvConsolidate, i, 0, 0)
+	}
+	events := tr.Drain()
+	if len(events) != 8 {
+		t.Fatalf("drained %d events, want ring size 8", len(events))
+	}
+	// The survivors must be the newest 8, oldest first.
+	for i, ev := range events {
+		if want := uint64(12 + i); ev.Node != want {
+			t.Fatalf("event %d: node %d, want %d", i, ev.Node, want)
+		}
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Fatalf("Dropped = %d, want 12", got)
+	}
+}
+
+func TestTracerRingRecycling(t *testing.T) {
+	tr := NewTracer(16)
+	r := tr.Ring()
+	r.Emit(EvAbort, 1, 0, 0)
+	tr.Release(r)
+	// Undrained events in a released ring must stay drainable.
+	r2 := tr.Ring()
+	if r2 != r {
+		t.Fatal("released ring not reused")
+	}
+	r2.Emit(EvAbort, 2, 0, 0)
+	events := tr.Drain()
+	if len(events) != 2 {
+		t.Fatalf("drained %d events, want 2", len(events))
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(256)
+	const workers = 4
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := tr.Ring()
+			defer tr.Release(r)
+			for i := 0; i < perWorker; i++ {
+				r.Emit(EvSplit, uint64(w), uint64(i), 0)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = tr.Drain()
+		}
+	}()
+	wg.Wait()
+	<-done
+	rest := tr.Drain()
+	// Total events seen across all drains plus drops must be exact;
+	// here just check nothing deadlocked and sequences stay ordered.
+	for i := 1; i < len(rest); i++ {
+		if rest[i].Seq <= rest[i-1].Seq {
+			t.Fatalf("unordered drain under concurrency")
+		}
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvSplit.String() != "split" || EvEpochAdvance.String() != "epoch-advance" {
+		t.Fatal("unexpected kind names")
+	}
+	b, err := EvMerge.MarshalJSON()
+	if err != nil || string(b) != `"merge"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+}
