@@ -9,6 +9,13 @@
 // state they own exclusively and can therefore verify exactly. Between
 // rounds the tree's structural invariants are checked. Any inconsistency
 // aborts with a non-zero exit.
+//
+// With -check, every operation is additionally recorded through the
+// history checker (internal/histcheck) and the merged history is verified
+// against sequential semantics at exit — catching cross-worker anomalies
+// the per-worker mirrors cannot see. Recording is memory-bound, so -check
+// caps the run at -check-ops total operations instead of running for the
+// full -duration.
 package main
 
 import (
@@ -23,7 +30,20 @@ import (
 	"time"
 
 	"repro/bwtree"
+	"repro/internal/histcheck"
+	"repro/internal/index"
 )
+
+// session is the operation surface workers drive; both *bwtree.Session
+// and the checker's recording session satisfy it.
+type session interface {
+	Insert(key []byte, value uint64) bool
+	Delete(key []byte, value uint64) bool
+	Update(key []byte, value uint64) bool
+	Lookup(key []byte, out []uint64) []uint64
+	Scan(start []byte, n int, visit func(key []byte, value uint64) bool) int
+	Release()
+}
 
 func key64(v uint64) []byte {
 	b := make([]byte, 8)
@@ -37,6 +57,8 @@ func main() {
 	keyspace := flag.Uint64("keyspace", 100000, "shared keys per worker slice")
 	leafSize := flag.Int("leaf", 32, "leaf node size (small sizes maximize SMO churn)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address (enables latency histograms and SMO tracing)")
+	check := flag.Bool("check", false, "record every op and verify the merged history for linearizability at exit")
+	checkOps := flag.Uint64("check-ops", 400_000, "total operation budget with -check (recorded histories must fit in memory)")
 	flag.Parse()
 
 	opts := bwtree.DefaultOptions()
@@ -50,8 +72,17 @@ func main() {
 		opts.LatencyHistograms = true
 		opts.TraceRingSize = 1024
 	}
-	t := bwtree.New(opts)
-	defer t.Close()
+	idx := index.NewBwTreeWith("OpenBwTree", opts)
+	defer idx.Close()
+	t := idx.(index.BwBacked).Tree()
+
+	var checked *histcheck.Checked
+	newSession := func() session { return t.NewSession() }
+	if *check {
+		checked = histcheck.Wrap(idx, false)
+		newSession = func() session { return checked.NewSession() }
+		log.Printf("history checking on: capped at %d ops", *checkOps)
+	}
 
 	if *debugAddr != "" {
 		srv, err := bwtree.ServeDebug(t, *debugAddr)
@@ -71,7 +102,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			s := t.NewSession()
+			s := newSession()
 			defer s.Release()
 			rng := rand.New(rand.NewSource(int64(w) * 7919))
 			// Each worker owns keys ≡ w (mod workers) and mirrors their
@@ -81,8 +112,11 @@ func main() {
 			nw := uint64(*workers)
 			var out []uint64
 			for !stop.Load() {
+				n := ops.Add(1)
+				if *check && n > *checkOps {
+					return
+				}
 				k := base + uint64(rng.Intn(int(*keyspace)))*nw
-				ops.Add(1)
 				switch rng.Intn(6) {
 				case 0:
 					v := rng.Uint64()
@@ -146,19 +180,27 @@ func main() {
 		}(w)
 	}
 
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
 	start := time.Now()
 	ticker := time.NewTicker(5 * time.Second)
 	defer ticker.Stop()
+loop:
 	for time.Since(start) < *duration && !failed.Load() {
-		<-ticker.C
-		st := t.Stats()
-		log.Printf("t=%v ops=%d (%.2f Mops/s) aborts=%d splits=%d merges=%d consolidations=%d",
-			time.Since(start).Round(time.Second), ops.Load(),
-			float64(ops.Load())/time.Since(start).Seconds()/1e6,
-			st.Aborts, st.Splits, st.Merges, st.Consolidations)
+		select {
+		case <-done:
+			// Workers exhausted the -check op budget before the deadline.
+			break loop
+		case <-ticker.C:
+			st := t.Stats()
+			log.Printf("t=%v ops=%d (%.2f Mops/s) aborts=%d splits=%d merges=%d consolidations=%d",
+				time.Since(start).Round(time.Second), ops.Load(),
+				float64(ops.Load())/time.Since(start).Seconds()/1e6,
+				st.Aborts, st.Splits, st.Merges, st.Consolidations)
+		}
 	}
 	stop.Store(true)
-	wg.Wait()
+	<-done
 
 	if failed.Load() {
 		fmt.Println("FAILED: inconsistency detected")
@@ -167,6 +209,21 @@ func main() {
 	if err := t.Validate(); err != nil {
 		fmt.Printf("FAILED: final validation: %v\n", err)
 		os.Exit(1)
+	}
+	if checked != nil {
+		vs := checked.Check()
+		for i, v := range vs {
+			if i == 20 {
+				fmt.Printf("  ... %d more\n", len(vs)-20)
+				break
+			}
+			fmt.Printf("  violation: %v\n", v)
+		}
+		if len(vs) > 0 {
+			fmt.Printf("FAILED: history check found %d violations over %d recorded ops\n", len(vs), checked.Ops())
+			os.Exit(1)
+		}
+		fmt.Printf("history check: %d ops verified, zero violations\n", checked.Ops())
 	}
 	st := t.Stats()
 	fmt.Printf("PASS: %d ops, %d aborts (%.2f%%), %d splits, %d merges, final count %d\n",

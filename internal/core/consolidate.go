@@ -206,6 +206,9 @@ func (s *Session) gatherLeafRecords(head *delta, ins, del []effRec) (insOut, del
 	for {
 		switch d.kind {
 		case kLeafInsert:
+			if smobugDropInsert(d.key) {
+				break // mutation self-test bug: the record is lost (smobug_on.go)
+			}
 			if !decided(d.key, d.value) {
 				ins = append(ins, effRec{key: d.key, val: d.value, offset: d.offset})
 				// A matching base item (possible when an older delete in

@@ -1,0 +1,145 @@
+// Fault-injection schedules verified for client-visible correctness, not
+// just structural validity: each test installs a deterministic CaS-failure
+// schedule and drives a concurrent mixed workload through the history
+// checker. The quiescent oracles in faultinject_test.go prove the tree
+// *ends up* consistent; these prove no client ever *observed* an
+// inconsistency while SMOs were being failed and retried underneath it.
+//
+// This lives in an external test package because histcheck imports core
+// (via the index adapters), so package core itself cannot import it.
+package core_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/histcheck"
+	"repro/internal/index"
+)
+
+// smallTreeOpts shrinks nodes and chains so the checked workload crosses
+// every SMO path thousands of times.
+func smallTreeOpts() core.Options {
+	opts := core.DefaultOptions()
+	opts.LeafNodeSize = 16
+	opts.InnerNodeSize = 8
+	opts.LeafChainLength = 4
+	opts.InnerChainLength = 2
+	opts.LeafMergeSize = 4
+	opts.InnerMergeSize = 2
+	return opts
+}
+
+// runCheckedFaulty drives a split-heavy churn mix under the given fault
+// hook and requires a clean history.
+func runCheckedFaulty(t *testing.T, hook func(core.CASInfo) bool) {
+	mix := histcheck.Mix{Name: "churn", Insert: 35, Delete: 30, Update: 10, Lookup: 20, Scan: 5}
+	runCheckedFaultyMix(t, hook, mix, histcheck.DefaultRunConfig(7))
+}
+
+// runCheckedFaultyDraining is the merge-path variant: the keyspace starts
+// fully populated and deletes dominate inserts, so leaves reliably drain
+// below the merge threshold and the merge protocol fires even in -short
+// runs.
+func runCheckedFaultyDraining(t *testing.T, hook func(core.CASInfo) bool) {
+	mix := histcheck.Mix{Name: "drain", Insert: 15, Delete: 50, Update: 5, Lookup: 25, Scan: 5}
+	cfg := histcheck.DefaultRunConfig(7)
+	cfg.Keys = 256
+	cfg.Preload = 256
+	runCheckedFaultyMix(t, hook, mix, cfg)
+}
+
+func runCheckedFaultyMix(t *testing.T, hook func(core.CASInfo) bool, mix histcheck.Mix, cfg histcheck.RunConfig) {
+	restore := core.SetCASFailHook(hook)
+	defer restore()
+
+	idx := index.NewBwTreeWith("OpenBwTree-faulty", smallTreeOpts())
+	defer idx.Close()
+
+	if testing.Short() {
+		cfg.OpsPerThread = 700
+	}
+	vs, h := histcheck.RunChecked(idx, false, mix, cfg)
+	for _, v := range vs {
+		t.Errorf("client-visible violation under fault injection: %v", v)
+	}
+	if t.Failed() {
+		t.Logf("history: %d ops", len(h.Ops))
+	}
+}
+
+// TestCheckedSplitSeparatorFailures fails the first few ∆separator posts
+// for every split child: splits stay half-finished while clients race
+// through them.
+func TestCheckedSplitSeparatorFailures(t *testing.T) {
+	_, sepIns, _, _, _, _ := core.DeltaKindNames()
+	var mu sync.Mutex
+	failures := map[uint64]int{}
+	fired := atomic.Int64{}
+	runCheckedFaulty(t, func(ci core.CASInfo) bool {
+		if ci.NewKind != sepIns {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if failures[ci.Child] < 3 {
+			failures[ci.Child]++
+			fired.Add(1)
+			return true
+		}
+		return false
+	})
+	if fired.Load() == 0 {
+		t.Fatal("injection never fired")
+	}
+}
+
+// TestCheckedSplitDeltaFailures fails every other ∆split publication:
+// splits abandon and are retried while clients observe the node.
+func TestCheckedSplitDeltaFailures(t *testing.T) {
+	split, _, _, _, _, _ := core.DeltaKindNames()
+	var count atomic.Int64
+	runCheckedFaulty(t, func(ci core.CASInfo) bool {
+		if ci.NewKind != split {
+			return false
+		}
+		return count.Add(1)%2 == 1
+	})
+	if count.Load() == 0 {
+		t.Fatal("injection never fired")
+	}
+}
+
+// TestCheckedMergeFailures fails half of all merge-protocol publications
+// (∆abort, ∆remove, ∆merge) so merges abandon at every stage boundary
+// under concurrent clients.
+func TestCheckedMergeFailures(t *testing.T) {
+	_, _, abort, remove, merge, _ := core.DeltaKindNames()
+	var count atomic.Int64
+	runCheckedFaultyDraining(t, func(ci core.CASInfo) bool {
+		if ci.NewKind != abort && ci.NewKind != remove && ci.NewKind != merge {
+			return false
+		}
+		return count.Add(1)%2 == 1
+	})
+	if count.Load() == 0 {
+		t.Fatal("injection never fired")
+	}
+}
+
+// TestCheckedRandomChaos sprays deterministic pseudo-random failures over
+// every CaS class at once.
+func TestCheckedRandomChaos(t *testing.T) {
+	var state atomic.Uint64
+	state.Store(99)
+	runCheckedFaulty(t, func(ci core.CASInfo) bool {
+		// splitmix64 step; thread-safe and deterministic in aggregate.
+		x := state.Add(0x9E3779B97F4A7C15)
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		x ^= x >> 31
+		return x%10 == 0
+	})
+}

@@ -31,15 +31,38 @@ type Iterator struct {
 // SeekToLast before use.
 func (s *Session) NewIterator() *Iterator { return &Iterator{s: s} }
 
-// Valid reports whether the iterator is positioned on an item.
+// Valid reports whether the iterator is positioned on an item. It is the
+// precondition for Key and Value: it holds after a Seek variant or a
+// Next/Prev that found an item, and stays false on a freshly created
+// iterator and after the cursor moves past either end of the tree. Key
+// and Value panic with a descriptive message when it does not hold.
 func (it *Iterator) Valid() bool { return it.valid }
 
-// Key returns the current item's key. The slice is shared with the
-// iterator's private copy and must not be modified.
-func (it *Iterator) Key() []byte { return it.keys[it.pos] }
+// mustBePositioned panics with an actionable message when the iterator is
+// not on an item. Without this guard the access below would fail with a
+// bare index-out-of-range that names neither the iterator nor the broken
+// contract.
+func (it *Iterator) mustBePositioned(method string) {
+	if !it.valid || it.pos < 0 || it.pos >= len(it.keys) {
+		panic("core: Iterator." + method + " called while not positioned on an item; " +
+			"position with Seek/SeekFirst/SeekToLast and check Valid() before every access")
+	}
+}
 
-// Value returns the current item's value.
-func (it *Iterator) Value() uint64 { return it.vals[it.pos] }
+// Key returns the current item's key. The slice is shared with the
+// iterator's private copy and must not be modified. Key panics unless
+// Valid() holds.
+func (it *Iterator) Key() []byte {
+	it.mustBePositioned("Key")
+	return it.keys[it.pos]
+}
+
+// Value returns the current item's value. Value panics unless Valid()
+// holds.
+func (it *Iterator) Value() uint64 {
+	it.mustBePositioned("Value")
+	return it.vals[it.pos]
+}
 
 // loadNode materializes the logical leaf covering key into the iterator.
 func (it *Iterator) loadNode(key []byte) bool {

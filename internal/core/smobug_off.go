@@ -1,0 +1,10 @@
+//go:build !smobug
+
+package core
+
+// smobugDropInsert is the consolidation mutation hook. In normal builds it
+// is a constant false the compiler erases; building with -tags smobug
+// replaces it with a seeded bug that drops insert records during
+// consolidation, so the history checker's self-test can prove it detects
+// real lost updates. See smobug_on.go.
+func smobugDropInsert(key []byte) bool { return false }

@@ -1,0 +1,20 @@
+//go:build smobug
+
+package core
+
+// smobugDropInsert re-introduces a classic consolidation bug for checker
+// self-tests: a deterministic subset of leaf-insert records silently
+// vanishes when the chain is consolidated, exactly as if the consolidator
+// had replayed the delta chain incorrectly. The insert was already
+// acknowledged to the client, so any later lookup of an affected key is a
+// client-visible lost update — which the history checker must flag as
+// non-linearizable. The predicate hashes only the key so the bug is
+// deterministic for a given workload, independent of scheduling.
+func smobugDropInsert(key []byte) bool {
+	// FNV-1a over the key; drop ~1 in 8.
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	return h&7 == 0
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/histcheck"
+	"repro/internal/index"
+)
+
+// Checked is the correctness experiment: every index runs three mixed
+// workloads with the history recorder attached, and the merged histories
+// are verified against sequential semantics (per-key linearizability plus
+// scan completeness; see internal/histcheck). The Bw-Tree additionally
+// runs under both GC schemes, since epoch reclamation is where premature
+// frees would surface as stale reads. The experiment's product is not a
+// throughput number but a zero-violation gate.
+func Checked(w io.Writer, sc Scale) {
+	type entry struct {
+		name string
+		mk   func() index.Index
+	}
+	openCentral := core.DefaultOptions()
+	openCentral.GC = core.GCCentralized
+	baseDecentral := core.BaselineOptions()
+	baseDecentral.GC = core.GCDecentralized
+	entries := []entry{
+		{"OpenBwTree (decentralized GC)", index.NewOpenBwTree},
+		{"OpenBwTree (centralized GC)", func() index.Index { return index.NewBwTreeWith("OpenBwTree-central", openCentral) }},
+		{"BwTree (centralized GC)", index.NewBaselineBwTree},
+		{"BwTree (decentralized GC)", func() index.Index { return index.NewBwTreeWith("BwTree-decentral", baseDecentral) }},
+		{"SkipList", index.NewSkipList},
+		{"Masstree", index.NewMasstree},
+		{"B+Tree", index.NewBTree},
+		{"ART", index.NewART},
+	}
+
+	mixes := histcheck.Mixes()
+	cols := make([]string, len(mixes))
+	for i, m := range mixes {
+		cols[i] = m.Name
+	}
+	tbl := NewTable("Checked: history-checker verdict per index and mix (ops checked / violations)", cols...)
+
+	// Never drop below the default 4 worker goroutines: the point is
+	// interleaving, which needs more goroutines than the benchmark thread
+	// count on small machines (goroutines still preempt under GOMAXPROCS=1).
+	cfg := histcheck.DefaultRunConfig(sc.Seed)
+	if sc.Threads > cfg.Threads && sc.Threads <= 8 {
+		cfg.Threads = sc.Threads
+	}
+	failures := 0
+	for _, e := range entries {
+		cells := make([]string, len(mixes))
+		for i, mix := range mixes {
+			idx := e.mk()
+			vs, h := histcheck.RunChecked(idx, false, mix, cfg)
+			idx.Close()
+			if len(vs) == 0 {
+				cells[i] = fmt.Sprintf("%d ok", len(h.Ops))
+				continue
+			}
+			failures += len(vs)
+			cells[i] = fmt.Sprintf("%d FAIL(%d)", len(h.Ops), len(vs))
+			for j, v := range vs {
+				if j == 5 {
+					fmt.Fprintf(w, "  ... %d more\n", len(vs)-5)
+					break
+				}
+				fmt.Fprintf(w, "  %s / %s: %v\n", e.name, mix.Name, v)
+			}
+		}
+		tbl.AddRow(e.name, cells...)
+	}
+	tbl.Note("Each cell is one concurrent run (%d threads) verified for per-key linearizability and scan completeness.", cfg.Threads)
+	tbl.WriteTo(w)
+	if failures == 0 {
+		fmt.Fprintf(w, "checked: zero violations across %d runs\n", len(entries)*len(mixes))
+	} else {
+		fmt.Fprintf(w, "checked: %d VIOLATIONS — see above\n", failures)
+	}
+}

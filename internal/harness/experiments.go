@@ -55,6 +55,7 @@ func Experiments() []Experiment {
 		{"fig17", "Normal vs high-contention Insert-only", Fig17},
 		{"fig18", "Feature decomposition (-DC, -CAS, -MT, -DU)", Fig18},
 		{"latency", "Operation latency percentiles, Bw-Tree vs OpenBw-Tree", Latency},
+		{"checked", "History-checked correctness sweep: all indexes, three mixes, both GC schemes", Checked},
 	}
 }
 

@@ -100,13 +100,13 @@ func Run(mk func() index.Index, cfg Config) Result {
 		if cfg.Workload != ycsb.InsertOnly {
 			loadLat = nil
 		}
-		dur := RunPhaseLat(idx, ks, ycsb.InsertOnly, loadOps, cfg.Threads, cfg.Seed, loadLat)
+		dur := RunPhaseLat(idx, ks, ycsb.InsertOnly, loadOps, cfg.Threads, phaseSeed(cfg.Seed, 0), loadLat)
 		res.LoadMops = mops(loadOps, dur)
 	}
 	if cfg.Workload == ycsb.InsertOnly {
 		if loadOps == 0 {
 			// Mono-HC Insert-only: the run phase does the inserting.
-			dur := RunPhaseLat(idx, ks, ycsb.InsertOnly, cfg.Ops, cfg.Threads, cfg.Seed, lat)
+			dur := RunPhaseLat(idx, ks, ycsb.InsertOnly, cfg.Ops, cfg.Threads, phaseSeed(cfg.Seed, 0), lat)
 			res.RunMops = mops(cfg.Ops, dur)
 			res.Ops = cfg.Ops
 		} else {
@@ -114,7 +114,7 @@ func Run(mk func() index.Index, cfg Config) Result {
 			res.Ops = loadOps
 		}
 	} else {
-		dur := RunPhaseLat(idx, ks, cfg.Workload, cfg.Ops, cfg.Threads, cfg.Seed+1, lat)
+		dur := RunPhaseLat(idx, ks, cfg.Workload, cfg.Ops, cfg.Threads, phaseSeed(cfg.Seed, 1), lat)
 		res.RunMops = mops(cfg.Ops, dur)
 		res.Ops = cfg.Ops
 	}
@@ -129,6 +129,20 @@ func Run(mk func() index.Index, cfg Config) Result {
 		}
 	}
 	return res
+}
+
+// phaseSeed derives an independent RNG stream for phase (or worker)
+// number p of a run seeded with seed, via the SplitMix64 finalizer. The
+// old derivation — run phase = Seed+1, worker streams = seed + worker ×
+// 0x9E37 — made adjacent user seeds overlap: seed S's run phase replayed
+// seed S+1's load phase, and nearby (seed, worker) pairs collided.
+// Hashing (seed, p) through a full-avalanche bijection decorrelates every
+// pair while keeping runs reproducible from Config.Seed alone.
+func phaseSeed(seed, p uint64) uint64 {
+	x := seed + (p+1)*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 func mops(ops int, dur time.Duration) float64 {
@@ -163,7 +177,7 @@ func RunPhaseLat(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads
 			defer wg.Done()
 			s := idx.NewSession()
 			defer s.Release()
-			stream := ycsb.NewStream(w, ks, worker, seed+uint64(worker)*0x9E37)
+			stream := ycsb.NewStream(w, ks, worker, phaseSeed(seed, uint64(worker)))
 			var rec *obs.Recorder
 			if lat != nil {
 				rec = &obs.Recorder{}

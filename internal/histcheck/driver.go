@@ -1,0 +1,140 @@
+package histcheck
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+)
+
+// Mix is a weighted operation mix for checked runs.
+type Mix struct {
+	Name string
+	// Operation weights (relative, need not sum to anything particular).
+	Insert, Delete, Update, Lookup, Scan int
+}
+
+// Mixes returns the three standard checked-run mixes: balanced churn,
+// read-heavy with scans, and write-heavy contention.
+func Mixes() []Mix {
+	return []Mix{
+		{Name: "balanced", Insert: 25, Delete: 20, Update: 20, Lookup: 30, Scan: 5},
+		{Name: "read-heavy", Insert: 5, Delete: 5, Update: 10, Lookup: 70, Scan: 10},
+		{Name: "write-heavy", Insert: 40, Delete: 30, Update: 20, Lookup: 10, Scan: 0},
+	}
+}
+
+// RunConfig sizes a checked run. The keyspace is deliberately small so
+// operations collide: collisions are where linearizability bugs live, and
+// a small per-key history keeps the checker fast.
+type RunConfig struct {
+	Threads      int
+	OpsPerThread int
+	// Keys is the keyspace size (keys are the big-endian encodings of
+	// 0..Keys-1).
+	Keys int
+	// Preload keys are inserted through a recording session before the
+	// workers start, so scans have stable content to miss.
+	Preload int
+	// ScanLen is the scan item limit.
+	ScanLen int
+	Seed    uint64
+}
+
+// DefaultRunConfig returns the sizing used by the checked experiment and
+// the CI job: small enough to check in well under a second per run, dense
+// enough that every op kind races on shared keys.
+func DefaultRunConfig(seed uint64) RunConfig {
+	return RunConfig{Threads: 4, OpsPerThread: 1500, Keys: 512, Preload: 128, ScanLen: 16, Seed: seed}
+}
+
+// RunChecked drives idx with mix under cfg, with the recorder attached,
+// and returns the violations found plus the recorded history (for
+// diagnostics and op counting). idx is closed by the caller.
+func RunChecked(idx index.Index, nonUnique bool, mix Mix, cfg RunConfig) ([]Violation, *History) {
+	c := Wrap(idx, nonUnique)
+
+	// Every write gets a globally unique value so the checker can tell
+	// writes apart: a stale read is only provable when values differ.
+	var valCtr atomic.Uint64
+
+	if cfg.Preload > 0 {
+		s := c.NewSession()
+		var kb [8]byte
+		for i := 0; i < cfg.Preload; i++ {
+			k := uint64(i) * uint64(cfg.Keys) / uint64(cfg.Preload)
+			binary.BigEndian.PutUint64(kb[:], k)
+			s.Insert(kb[:], valCtr.Add(1))
+		}
+		s.Release()
+	}
+
+	total := mix.Insert + mix.Delete + mix.Update + mix.Lookup + mix.Scan
+	if total == 0 {
+		total = 1
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			s := c.NewSession()
+			defer s.Release()
+			rng := rngState(splitmix64(cfg.Seed + uint64(worker)*0x9E3779B97F4A7C15))
+			// Remember the last value this worker wrote per key so
+			// non-unique deletes target pairs that plausibly exist.
+			lastVal := map[uint64]uint64{}
+			var kb [8]byte
+			var out []uint64
+			for i := 0; i < cfg.OpsPerThread; i++ {
+				k := rng.next() % uint64(cfg.Keys)
+				binary.BigEndian.PutUint64(kb[:], k)
+				w := int(rng.next() % uint64(total))
+				switch {
+				case w < mix.Insert:
+					v := valCtr.Add(1)
+					if s.Insert(kb[:], v) {
+						lastVal[k] = v
+					}
+				case w < mix.Insert+mix.Delete:
+					v := lastVal[k]
+					if s.Delete(kb[:], v) {
+						delete(lastVal, k)
+					}
+				case w < mix.Insert+mix.Delete+mix.Update:
+					v := valCtr.Add(1)
+					if s.Update(kb[:], v) {
+						lastVal[k] = v
+					}
+				case w < mix.Insert+mix.Delete+mix.Update+mix.Lookup:
+					out = s.Lookup(kb[:], out[:0])
+				default:
+					s.Scan(kb[:], cfg.ScanLen, func([]byte, uint64) bool { return true })
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	h := c.History()
+	return Check(h), h
+}
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche over
+// uint64, used to decorrelate seeds and as the rng step.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+type rngState uint64
+
+func (r *rngState) next() uint64 {
+	*r = rngState(uint64(*r) + 0x9E3779B97F4A7C15)
+	x := uint64(*r)
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,39 @@
+//go:build smobug
+
+// Mutation self-test: built only with -tags smobug, which swaps the
+// consolidation hook in internal/core for a seeded bug that drops leaf
+// insert records (see core/smobug_on.go). If the checker is worth
+// anything it must catch the resulting lost updates; a clean verdict here
+// fails the build's credibility, so it fails this test. The normal build
+// proves the complement: TestRunCheckedClean requires zero violations with
+// the bug compiled out.
+//
+// Run with: go test -tags smobug -run TestMutation ./internal/histcheck/
+package histcheck
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/index"
+)
+
+func TestMutationSmobugDetected(t *testing.T) {
+	// Small nodes and short chains force frequent consolidation, the
+	// operation the seeded bug corrupts.
+	opts := core.DefaultOptions()
+	opts.LeafNodeSize = 16
+	opts.InnerNodeSize = 8
+	opts.LeafChainLength = 4
+	idx := index.NewBwTreeWith("OpenBwTree-smobug", opts)
+	defer idx.Close()
+
+	mix := Mix{Name: "churn", Insert: 40, Delete: 10, Update: 10, Lookup: 35, Scan: 5}
+	cfg := DefaultRunConfig(42)
+	vs, h := RunChecked(idx, false, mix, cfg)
+	if len(vs) == 0 {
+		t.Fatalf("seeded consolidation bug went undetected over %d ops", len(h.Ops))
+	}
+	t.Logf("checker caught the seeded bug: %d violations over %d ops; first: %v",
+		len(vs), len(h.Ops), vs[0])
+}

@@ -1,0 +1,158 @@
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// keyPresence summarizes, per key, the write operations relevant to scan
+// checking.
+type keyPresence struct {
+	// okInsertInv is the earliest invocation of a successful insert;
+	// okInsertRet the earliest completion of one. Zero means none.
+	okInsertInv uint64
+	okInsertRet uint64
+	// okDeleteInv is the earliest invocation of a successful delete. Zero
+	// means none.
+	okDeleteInv uint64
+}
+
+// checkScans verifies every scan's result against the point-op history.
+// All checks are conservative (sound): each flags only results no
+// interleaving of the recorded operations could have produced, so a racy
+// but correct index never trips them.
+//
+//   - scan-order / scan-duplicate: results must come back in ascending key
+//     order, strictly ascending under unique semantics, with no repeated
+//     (key, value) pair under non-unique semantics.
+//   - scan-phantom: a returned key for which the history holds no
+//     successful insert invoked before the scan returned.
+//   - scan-skip: a key stably present for the scan's whole duration —
+//     inserted before the scan was invoked, with no successful delete
+//     invoked before the scan returned — that lies inside the range the
+//     scan claims to have covered yet is missing from the result.
+func checkScans(h *History) []Violation {
+	var vs []Violation
+	pres := map[string]*keyPresence{}
+	for i := range h.Ops {
+		op := &h.Ops[i]
+		if !op.OK {
+			continue
+		}
+		switch op.Kind {
+		case OpInsert:
+			p := pres[op.Key]
+			if p == nil {
+				p = &keyPresence{}
+				pres[op.Key] = p
+			}
+			if p.okInsertInv == 0 || op.Inv < p.okInsertInv {
+				p.okInsertInv = op.Inv
+			}
+			if p.okInsertRet == 0 || op.Ret < p.okInsertRet {
+				p.okInsertRet = op.Ret
+			}
+		case OpDelete:
+			p := pres[op.Key]
+			if p == nil {
+				p = &keyPresence{}
+				pres[op.Key] = p
+			}
+			if p.okDeleteInv == 0 || op.Inv < p.okDeleteInv {
+				p.okDeleteInv = op.Inv
+			}
+		}
+	}
+	stable := make([]string, 0, len(pres))
+	for k, p := range pres {
+		if p.okInsertRet != 0 {
+			stable = append(stable, k)
+		}
+	}
+	sort.Strings(stable)
+
+	for i := range h.Ops {
+		op := &h.Ops[i]
+		if op.Kind != OpScan {
+			continue
+		}
+		vs = append(vs, checkOneScan(h, op, pres, stable)...)
+	}
+	return vs
+}
+
+func checkOneScan(h *History, scan *Record, pres map[string]*keyPresence, stable []string) []Violation {
+	var vs []Violation
+
+	// Order and duplicates.
+	seenPair := map[KV]bool{}
+	for i, p := range scan.Pairs {
+		if p.Key < scan.Key {
+			vs = append(vs, Violation{Kind: "scan-order", Key: scan.Key,
+				Msg: fmt.Sprintf("item %d key %x precedes start key (%v)", i, p.Key, *scan)})
+		}
+		if i > 0 {
+			prev := scan.Pairs[i-1]
+			if p.Key < prev.Key {
+				vs = append(vs, Violation{Kind: "scan-order", Key: scan.Key,
+					Msg: fmt.Sprintf("item %d key %x after %x: not ascending (%v)", i, p.Key, prev.Key, *scan)})
+			} else if p.Key == prev.Key && !h.NonUnique {
+				vs = append(vs, Violation{Kind: "scan-duplicate", Key: scan.Key,
+					Msg: fmt.Sprintf("key %x returned twice under unique semantics (%v)", p.Key, *scan)})
+			}
+		}
+		if h.NonUnique {
+			if seenPair[p] {
+				vs = append(vs, Violation{Kind: "scan-duplicate", Key: scan.Key,
+					Msg: fmt.Sprintf("pair (%x,%d) returned twice (%v)", p.Key, p.Value, *scan)})
+			}
+			seenPair[p] = true
+		}
+
+		// Phantom: nothing in the history could have put this key in the
+		// index by the time the scan returned.
+		kp := pres[p.Key]
+		if kp == nil || kp.okInsertInv == 0 || kp.okInsertInv >= scan.Ret {
+			vs = append(vs, Violation{Kind: "scan-phantom", Key: scan.Key,
+				Msg: fmt.Sprintf("key %x returned but no successful insert was invoked before the scan returned (%v)", p.Key, *scan)})
+		}
+	}
+
+	// Range the scan claims to have covered: if it filled its limit or the
+	// visitor stopped it, coverage ends at the last returned key; otherwise
+	// the scan asserts it exhausted the keyspace from start.
+	bounded := scan.Stopped || (scan.ScanN > 0 && len(scan.Pairs) == scan.ScanN)
+	if bounded && len(scan.Pairs) == 0 {
+		return vs // covered an empty range; nothing to miss
+	}
+	var end string
+	if bounded {
+		end = scan.Pairs[len(scan.Pairs)-1].Key
+	}
+
+	// Skipped keys: stably present, inside the covered range, absent from
+	// the result.
+	returned := map[string]bool{}
+	for _, p := range scan.Pairs {
+		returned[p.Key] = true
+	}
+	lo := sort.SearchStrings(stable, scan.Key)
+	for _, k := range stable[lo:] {
+		if bounded && k > end {
+			break
+		}
+		if returned[k] {
+			continue
+		}
+		p := pres[k]
+		if p.okInsertRet >= scan.Inv {
+			continue // not present before the scan began
+		}
+		if p.okDeleteInv != 0 && p.okDeleteInv < scan.Ret {
+			continue // a delete might have removed it before/during the scan
+		}
+		vs = append(vs, Violation{Kind: "scan-skip", Key: scan.Key,
+			Msg: fmt.Sprintf("key %x stably present (inserted before scan, never deleted) but missing from result (%v)", k, *scan)})
+	}
+	return vs
+}

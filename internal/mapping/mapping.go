@@ -110,9 +110,32 @@ func (t *Table[T]) CompareAndSwap(id uint64, old, new *T) bool {
 // (including recycled ones).
 func (t *Table[T]) Hwm() uint64 { return t.next.Load() }
 
-// freeList is a Treiber stack of recycled IDs. Every push allocates a fresh
-// node and Go's garbage collector keeps a popped node alive while any racing
-// pop still holds it, so the classic ABA reclamation hazard cannot occur.
+// freeList is a Treiber stack of recycled IDs.
+//
+// ABA audit. A Treiber stack's classic failure is pop's CaS(head, h ->
+// h.next) succeeding after head moved away from h and back to it, leaving
+// h.next stale. Two distinct hazards have to be ruled out here:
+//
+//  1. Node-level ABA (stale h.next): impossible. Every push allocates a
+//     fresh freeNode — a node object is pushed exactly once and never
+//     re-enters the stack, so a given *freeNode can be the head at most
+//     once in its lifetime; head can never return to a previously-popped
+//     node. A node's next field is only written before its publishing CaS
+//     and is immutable afterwards, so a successful pop CaS always installs
+//     the next the node was published with. Go's garbage collector keeps a
+//     popped node alive while any racing pop still holds the pointer,
+//     which is what rules out the reuse-after-free variant that bites
+//     manual reclamation (the hazard §4.2 of the paper works around with
+//     epochs).
+//
+//  2. ID-level reuse (the same uint64 cycling pop -> use -> Recycle ->
+//     push while another thread holds a stale reference to the ID): not
+//     the stack's problem, by contract. Recycle requires the retiring
+//     epoch to have drained first, so no thread can still translate the ID
+//     when it re-enters the free list; Recycle also nils the slot before
+//     pushing, and that store happens-before any subsequent Allocate
+//     returning the ID (pop's acquire CaS observes push's release CaS), so
+//     the new owner always observes an empty slot, never a stale pointer.
 type freeList struct {
 	head atomic.Pointer[freeNode]
 }

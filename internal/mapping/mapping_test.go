@@ -118,24 +118,60 @@ func TestConcurrentAllocateAndCAS(t *testing.T) {
 	}
 }
 
+// TestConcurrentRecycle churns the free list from 8 goroutines with the
+// full allocate -> CaS -> recycle lifecycle a tree node goes through, and
+// verifies exclusive ownership throughout: if the Treiber stack ever
+// suffered ABA, an ID would be handed to two workers at once (caught by
+// the claims map), a freshly allocated slot would read non-nil (stale
+// pointer), or an owner's CaS chain would fail. Run under -race.
 func TestConcurrentRecycle(t *testing.T) {
-	tb := New[int](0)
-	nw := 8
+	tb := New[uint64](0)
+	const nw = 8
+	// claims maps id -> owning worker while the ID is allocated. A claim
+	// is released before Recycle pushes the ID, so a racing Allocate of
+	// the same ID can never observe a lingering claim unless the free
+	// list really did hand it out twice.
+	var claims sync.Map
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			local := make([]uint64, 0, 64)
 			for i := 0; i < 5000; i++ {
 				id := tb.Allocate()
+				if prev, taken := claims.LoadOrStore(id, w); taken {
+					t.Errorf("id %d allocated to worker %d while worker %v still owns it", id, w, prev)
+					return
+				}
+				if got := tb.Load(id); got != nil {
+					t.Errorf("freshly allocated id %d reads stale pointer %v", id, got)
+					return
+				}
+				// The owner's CaS chain must never lose the slot.
+				v1 := uint64(w)<<32 | uint64(i)
+				v2 := v1 + 1
+				if !tb.CompareAndSwap(id, nil, &v1) {
+					t.Errorf("id %d: install CaS failed for exclusive owner", id)
+					return
+				}
+				if !tb.CompareAndSwap(id, &v1, &v2) {
+					t.Errorf("id %d: chained CaS failed for exclusive owner", id)
+					return
+				}
+				if got := tb.Load(id); got == nil || *got != v2 {
+					t.Errorf("id %d: owner reads %v, want %d", id, got, v2)
+					return
+				}
 				local = append(local, id)
 				if len(local) > 32 {
-					tb.Recycle(local[0])
+					old := local[0]
 					local = local[1:]
+					claims.Delete(old)
+					tb.Recycle(old)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
