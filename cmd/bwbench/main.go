@@ -61,6 +61,7 @@ func main() {
 		start := time.Now()
 		harness.RunAll(os.Stdout, sc)
 		fmt.Printf("total: %s\n", time.Since(start).Round(time.Second))
+		exitGate()
 		return
 	}
 
@@ -78,5 +79,15 @@ func main() {
 		fmt.Printf("### %s — %s\n\n", e.Name, e.Brief)
 		e.Run(os.Stdout, sc)
 		fmt.Printf("[%s in %s]\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	exitGate()
+}
+
+// exitGate fails the process when a gate experiment (bench-gate, checked)
+// recorded violations, so CI can rely on the exit code.
+func exitGate() {
+	if n := harness.GateFailures(); n > 0 {
+		fmt.Fprintf(os.Stderr, "bwbench: %d gate failure(s)\n", n)
+		os.Exit(1)
 	}
 }

@@ -10,6 +10,11 @@
 // rounds the tree's structural invariants are checked. Any inconsistency
 // aborts with a non-zero exit.
 //
+// With -batch N, inserts, deletes, and lookups are queued and flushed
+// through the amortized-epoch batch API (InsertBatch/DeleteBatch/
+// LookupBatch) in windows of N, with the same exact per-worker
+// verification; updates and scans keep interleaving single-op.
+//
 // With -check, every operation is additionally recorded through the
 // history checker (internal/histcheck) and the merged history is verified
 // against sequential semantics at exit — catching cross-worker anomalies
@@ -35,13 +40,18 @@ import (
 )
 
 // session is the operation surface workers drive; both *bwtree.Session
-// and the checker's recording session satisfy it.
+// and the checker's recording session satisfy it, including the batch
+// entry points (the recording session forwards them to the tree's native
+// amortized-epoch batch path).
 type session interface {
 	Insert(key []byte, value uint64) bool
 	Delete(key []byte, value uint64) bool
 	Update(key []byte, value uint64) bool
 	Lookup(key []byte, out []uint64) []uint64
 	Scan(start []byte, n int, visit func(key []byte, value uint64) bool) int
+	InsertBatch(keys [][]byte, vals []uint64, ok []bool) []bool
+	DeleteBatch(keys [][]byte, vals []uint64, ok []bool) []bool
+	LookupBatch(keys [][]byte, visit func(i int, vals []uint64))
 	Release()
 }
 
@@ -57,6 +67,7 @@ func main() {
 	keyspace := flag.Uint64("keyspace", 100000, "shared keys per worker slice")
 	leafSize := flag.Int("leaf", 32, "leaf node size (small sizes maximize SMO churn)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address (enables latency histograms and SMO tracing)")
+	batch := flag.Int("batch", 0, "route inserts/deletes/lookups through the batch API in windows of this size (0 = single-op)")
 	check := flag.Bool("check", false, "record every op and verify the merged history for linearizability at exit")
 	checkOps := flag.Uint64("check-ops", 400_000, "total operation budget with -check (recorded histories must fit in memory)")
 	flag.Parse()
@@ -80,7 +91,9 @@ func main() {
 	newSession := func() session { return t.NewSession() }
 	if *check {
 		checked = histcheck.Wrap(idx, false)
-		newSession = func() session { return checked.NewSession() }
+		// The recording session implements the batch surface natively; the
+		// assertion converts past the narrower index.Session return type.
+		newSession = func() session { return checked.NewSession().(session) }
 		log.Printf("history checking on: capped at %d ops", *checkOps)
 	}
 
@@ -111,6 +124,87 @@ func main() {
 			base := uint64(w)
 			nw := uint64(*workers)
 			var out []uint64
+			// Batch mode (-batch > 1): inserts, deletes, and lookups are
+			// queued per kind — at most one pending op per key, so the
+			// mirror's expectation for each entry is exact — and flushed
+			// through the batch API when the window fills.
+			type pendingOp struct {
+				k    uint64
+				v    uint64
+				kind byte // 'I', 'D', 'L'
+			}
+			var pend []pendingOp
+			inPend := map[uint64]bool{}
+			flushBatch := func() bool {
+				if len(pend) == 0 {
+					return true
+				}
+				var keys [][]byte
+				var vals []uint64
+				var sub []pendingOp
+				run := func(kind byte) bool {
+					keys, vals, sub = keys[:0], vals[:0], sub[:0]
+					for _, p := range pend {
+						if p.kind == kind {
+							keys = append(keys, key64(p.k))
+							vals = append(vals, p.v)
+							sub = append(sub, p)
+						}
+					}
+					if len(keys) == 0 {
+						return true
+					}
+					switch kind {
+					case 'I':
+						for i, ok := range s.InsertBatch(keys, vals, nil) {
+							_, had := owned[sub[i].k]
+							if ok == had {
+								log.Printf("worker %d: batch insert of key %d inconsistent (ok=%v had=%v)", w, sub[i].k, ok, had)
+								return false
+							}
+							if ok {
+								owned[sub[i].k] = sub[i].v
+							}
+						}
+					case 'D':
+						for i, ok := range s.DeleteBatch(keys, vals, nil) {
+							if _, had := owned[sub[i].k]; ok != had {
+								log.Printf("worker %d: batch delete of key %d inconsistent (ok=%v had=%v)", w, sub[i].k, ok, had)
+								return false
+							}
+							delete(owned, sub[i].k)
+						}
+					case 'L':
+						bad := false
+						s.LookupBatch(keys, func(i int, vs []uint64) {
+							want, had := owned[sub[i].k]
+							if had != (len(vs) == 1) || had && vs[0] != want {
+								log.Printf("worker %d: batch lookup %d got %v want %d,%v", w, sub[i].k, vs, want, had)
+								bad = true
+							}
+						})
+						if bad {
+							return false
+						}
+					}
+					return true
+				}
+				okAll := run('I') && run('D') && run('L')
+				pend = pend[:0]
+				clear(inPend)
+				return okAll
+			}
+			enqueue := func(k, v uint64, kind byte) bool {
+				if inPend[k] && !flushBatch() {
+					return false
+				}
+				pend = append(pend, pendingOp{k: k, v: v, kind: kind})
+				inPend[k] = true
+				if len(pend) >= *batch {
+					return flushBatch()
+				}
+				return true
+			}
 			for !stop.Load() {
 				n := ops.Add(1)
 				if *check && n > *checkOps {
@@ -120,6 +214,13 @@ func main() {
 				switch rng.Intn(6) {
 				case 0:
 					v := rng.Uint64()
+					if *batch > 1 {
+						if !enqueue(k, v, 'I') {
+							failed.Store(true)
+							return
+						}
+						continue
+					}
 					if s.Insert(key64(k), v) {
 						if _, had := owned[k]; had {
 							log.Printf("worker %d: insert of present key %d succeeded", w, k)
@@ -133,6 +234,13 @@ func main() {
 						return
 					}
 				case 1:
+					if *batch > 1 {
+						if !enqueue(k, owned[k], 'D') {
+							failed.Store(true)
+							return
+						}
+						continue
+					}
 					_, had := owned[k]
 					if s.Delete(key64(k), 0) != had {
 						log.Printf("worker %d: delete of key %d inconsistent (had=%v)", w, k, had)
@@ -152,6 +260,13 @@ func main() {
 						owned[k] = v
 					}
 				case 3, 4:
+					if *batch > 1 {
+						if !enqueue(k, 0, 'L') {
+							failed.Store(true)
+							return
+						}
+						continue
+					}
 					want, had := owned[k]
 					out = s.Lookup(key64(k), out[:0])
 					if had != (len(out) == 1) || had && out[0] != want {

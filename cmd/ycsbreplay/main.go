@@ -5,6 +5,11 @@
 //
 // Lines are distributed round-robin across worker goroutines; see
 // ycsbgen's documentation for the trace format.
+//
+// With -batch N, INSERT and READ lines are accumulated per worker and
+// flushed through the index's batch entry points in windows of N (the
+// Bw-Tree runs its amortized-epoch batch path; other indexes fall back
+// to a loop adapter). UPDATE and SCAN lines replay single-op.
 package main
 
 import (
@@ -69,6 +74,7 @@ type op struct {
 func main() {
 	idxName := flag.String("index", "openbw", "index to replay against")
 	threads := flag.Int("threads", 1, "worker goroutines")
+	batch := flag.Int("batch", 0, "flush INSERT/READ lines through the batch API in windows of this size (0 = single-op)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address (Bw-Tree indexes only)")
 	flag.Parse()
 
@@ -122,20 +128,48 @@ func main() {
 			defer wg.Done()
 			s := idx.NewSession()
 			defer s.Release()
+			bs := index.AsBatch(s)
 			var out []uint64
+			var ikeys [][]byte
+			var ivals []uint64
+			var rkeys [][]byte
+			var okBuf []bool
+			flush := func() {
+				if len(ikeys) > 0 {
+					okBuf = bs.InsertBatch(ikeys, ivals, okBuf)
+					ikeys, ivals = ikeys[:0], ivals[:0]
+				}
+				if len(rkeys) > 0 {
+					bs.LookupBatch(rkeys, func(int, []uint64) {})
+					rkeys = rkeys[:0]
+				}
+			}
 			for i := w; i < len(ops); i += nw {
 				o := ops[i]
 				switch o.kind {
 				case 'I':
-					s.Insert(o.key, o.value)
+					if *batch > 1 {
+						ikeys = append(ikeys, o.key)
+						ivals = append(ivals, o.value)
+					} else {
+						s.Insert(o.key, o.value)
+					}
 				case 'R':
-					out = s.Lookup(o.key, out[:0])
+					if *batch > 1 {
+						rkeys = append(rkeys, o.key)
+					} else {
+						out = s.Lookup(o.key, out[:0])
+					}
 				case 'U':
 					s.Update(o.key, o.value)
 				case 'S':
 					s.Scan(o.key, o.n, func(k []byte, v uint64) bool { return true })
 				}
+				if *batch > 1 && len(ikeys)+len(rkeys) >= *batch {
+					flush()
+				}
 			}
+			flush()
 		}(w)
 	}
 	wg.Wait()

@@ -228,7 +228,15 @@ func (s *Session) gatherLeafRecords(head *delta, ins, del []effRec) (insOut, del
 			insOK := !decided(d.key, d.value)
 			delOK := !decided(d.key, d.oldValue)
 			if insOK {
-				ins = append(ins, effRec{key: d.key, val: d.value, offset: d.offset})
+				off := d.offset
+				if nonUnique {
+					// The update's offset locates the OLD pair; the new
+					// value's sorted position among the key's pairs can
+					// differ, so the fast path cannot place the insert
+					// half — force the baseline replay.
+					off = -1
+				}
+				ins = append(ins, effRec{key: d.key, val: d.value, offset: off})
 			}
 			if delOK {
 				del = append(del, effRec{key: d.key, val: d.oldValue, offset: d.offset, del: true})

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
 
 // TestNonUniqueUpdate covers Session.Update under duplicate-key
 // semantics: it must replace the newest *visible* value, skipping values
@@ -129,5 +133,125 @@ func TestNonUniqueBaselineConsolidation(t *testing.T) {
 	}
 	if err := tr.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestNonUniqueUpdateToExistingPair updates a key to a value the key
+// already holds. The update must collapse to a delete of the old pair —
+// an update delta would leave the pair stored twice, which materializes
+// deduplicated and desynchronizes the size attribute.
+func TestNonUniqueUpdateToExistingPair(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NonUnique = true
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	k := []byte("pair")
+	s.Insert(k, 5)
+	s.Insert(k, 1) // newest insert: first visible value is 1
+	if !s.Update(k, 5) {
+		t.Fatal("update failed")
+	}
+	got := s.Lookup(k, nil)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("after update to existing pair: %v, want [5]", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonUniqueUpdateValueReorder consolidates an update delta whose new
+// value sorts BEFORE the replaced pair among the key's values. The fast
+// consolidation path cannot place that insert at the old pair's offset;
+// it must fall back to the baseline replay or the base node comes out
+// unsorted.
+func TestNonUniqueUpdateValueReorder(t *testing.T) {
+	opts := DefaultOptions()
+	opts.NonUnique = true
+	opts.FastConsolidate = true
+	opts.LeafNodeSize = 16
+	opts.LeafChainLength = 2
+	tr := New(opts)
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	k := key64(7)
+	for v := uint64(1); v <= 4; v++ {
+		s.Insert(k, v)
+	}
+	// Consolidate so the four pairs sit in a base node.
+	for i := uint64(100); i < 110; i++ {
+		s.Insert(key64(i), i)
+	}
+	// Replace the largest value with one that sorts first.
+	if !s.UpdateValue(k, 4, 0) {
+		t.Fatal("UpdateValue failed")
+	}
+	// Drive more consolidations that fold the update delta.
+	for i := uint64(110); i < 130; i++ {
+		s.Insert(key64(i), i)
+	}
+	got := s.Lookup(k, nil)
+	slices.Sort(got)
+	if !slices.Equal(got, []uint64{0, 1, 2, 3}) {
+		t.Fatalf("after reordering update: %v, want [0 1 2 3]", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonUniqueRandomizedValidate hammers one session with a random mix
+// of every mutating operation over a small hot key space and validates
+// the whole tree after each op, so any size-attribute or ordering drift
+// is pinned to the exact operation that introduced it.
+func TestNonUniqueRandomizedValidate(t *testing.T) {
+	for _, fast := range []bool{true, false} {
+		opts := DefaultOptions()
+		opts.NonUnique = true
+		opts.FastConsolidate = fast
+		opts.LeafNodeSize = 16
+		opts.InnerNodeSize = 8
+		opts.LeafChainLength = 4
+		opts.InnerChainLength = 2
+		opts.LeafMergeSize = 4
+		opts.InnerMergeSize = 2
+		tr := New(opts)
+		s := tr.NewSession()
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 8000; i++ {
+			k := uint64(rng.Intn(256))
+			v := uint64(rng.Intn(4))
+			var opname string
+			switch rng.Intn(8) {
+			case 0, 1:
+				opname = "insert"
+				s.Insert(key64(k), v)
+			case 2:
+				opname = "delete"
+				s.Delete(key64(k), v)
+			case 3:
+				opname = "update"
+				s.Update(key64(k), v)
+			case 4:
+				opname = "updatevalue"
+				s.UpdateValue(key64(k), v, v+1)
+			case 5:
+				opname = "deletebatch"
+				s.DeleteBatch([][]byte{key64(k), key64(k + 1)}, []uint64{v, v}, nil)
+			default:
+				opname = "lookup"
+				s.Lookup(key64(k), nil)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("fast=%v: after op %d (%s k=%d v=%d): %v", fast, i, opname, k, v, err)
+			}
+		}
+		s.Release()
+		tr.Close()
 	}
 }

@@ -19,7 +19,11 @@ type Tree struct {
 	opts Options
 	mt   *mapping.Table[delta]
 	gc   epoch.GC
-	root nodeID
+	// hpool recycles epoch handles across sessions so NewSession/Release
+	// churn (one session per batch in some callers) skips the GC
+	// registry round-trip.
+	hpool *epoch.Pool
+	root  nodeID
 
 	// leafSlabs/innerSlabs recycle pre-allocation slabs whose chains
 	// have drained from all epochs.
@@ -61,6 +65,7 @@ func New(opts Options) *Tree {
 	default:
 		t.gc = epoch.NewDecentralized(opts.GCInterval, opts.GCThreshold)
 	}
+	t.hpool = epoch.NewPool(t.gc)
 	if opts.TraceRingSize > 0 {
 		t.tracer = obs.NewTracer(opts.TraceRingSize)
 		t.gcRing = t.tracer.Ring()
@@ -108,6 +113,7 @@ func (t *Tree) Close() {
 	for _, s := range ss {
 		s.Release()
 	}
+	t.hpool.Drain()
 	t.gc.Close()
 }
 
@@ -159,6 +165,11 @@ type Session struct {
 	// trace is the session's event ring when tracing is enabled.
 	trace *obs.Ring
 
+	// leafHits/parentHits batch the traversal-cache hit counters the same
+	// way chases batches pointer dereferences; flushed by batchDone.
+	leafHits   uint64
+	parentHits uint64
+
 	// Scratch space reused across operations to keep the hot path
 	// allocation-free.
 	present    []uint64
@@ -166,6 +177,7 @@ type Session struct {
 	scratch    []uint64
 	insScratch []effRec
 	delScratch []effRec
+	batchOrd   []batchEnt
 	released   bool
 }
 
@@ -186,6 +198,11 @@ type sessionStats struct {
 	leafSlabCap    atomic.Uint64 // slot capacity of retired leaf slabs
 	innerSlabUsed  atomic.Uint64
 	innerSlabCap   atomic.Uint64
+	// batchLeafHits/batchParentHits count batched operations that reused
+	// the previous op's leaf (or routed one level from its parent) instead
+	// of descending from the root.
+	batchLeafHits   atomic.Uint64
+	batchParentHits atomic.Uint64
 }
 
 func (a *sessionStats) add(b *sessionStats) {
@@ -201,11 +218,13 @@ func (a *sessionStats) add(b *sessionStats) {
 	a.leafSlabCap.Add(b.leafSlabCap.Load())
 	a.innerSlabUsed.Add(b.innerSlabUsed.Load())
 	a.innerSlabCap.Add(b.innerSlabCap.Load())
+	a.batchLeafHits.Add(b.batchLeafHits.Load())
+	a.batchParentHits.Add(b.batchParentHits.Load())
 }
 
 // NewSession registers a worker goroutine with the tree.
 func (t *Tree) NewSession() *Session {
-	s := &Session{t: t, h: t.gc.Register()}
+	s := &Session{t: t, h: t.hpool.Get()}
 	if t.opts.LatencyHistograms {
 		s.lat = &obs.Recorder{}
 	}
@@ -239,7 +258,7 @@ func (s *Session) Release() {
 		s.t.tracer.Release(s.trace)
 		s.trace = nil
 	}
-	s.h.Unregister()
+	s.t.hpool.Put(s.h)
 }
 
 // opStart returns the operation start timestamp, or 0 when latency
@@ -289,7 +308,11 @@ type Stats struct {
 	LeafSlabCap   uint64
 	InnerSlabUsed uint64
 	InnerSlabCap  uint64
-	GC            epoch.Stats
+	// BatchLeafHits/BatchParentHits count batched operations that skipped
+	// the root-to-leaf descent via the cached traversal.
+	BatchLeafHits   uint64
+	BatchParentHits uint64
+	GC              epoch.Stats
 }
 
 // AbortRate returns aborts per completed operation.
@@ -340,9 +363,11 @@ func (t *Tree) Stats() Stats {
 		CASFailures:    agg.casFailures.Load(),
 		LeafSlabUsed:   agg.leafSlabUsed.Load(),
 		LeafSlabCap:    agg.leafSlabCap.Load(),
-		InnerSlabUsed:  agg.innerSlabUsed.Load(),
-		InnerSlabCap:   agg.innerSlabCap.Load(),
-		GC:             t.gc.Stats(),
+		InnerSlabUsed:   agg.innerSlabUsed.Load(),
+		InnerSlabCap:    agg.innerSlabCap.Load(),
+		BatchLeafHits:   agg.batchLeafHits.Load(),
+		BatchParentHits: agg.batchParentHits.Load(),
+		GC:              t.gc.Stats(),
 	}
 }
 

@@ -179,6 +179,18 @@ func (s *Session) Update(key []byte, value uint64) bool {
 				return false
 			}
 			old, off = r.value, r.baseOff
+			if old != value {
+				if nr := s.leafSeekPair(tr.head, key, value); nr.found {
+					// The replacement pair already exists: an update delta
+					// would create a duplicate, so reduce to a delete of
+					// the old pair.
+					if s.appendLeaf(&tr, kLeafDelete, key, old, 0, -1, off) {
+						return true
+					}
+					s.abortBackoff(&spins)
+					continue
+				}
+			}
 		} else {
 			r := s.leafSeek(tr.head, key)
 			if !r.found {

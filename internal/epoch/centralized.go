@@ -157,11 +157,15 @@ func (c *Centralized) Stats() Stats {
 type centralHandle struct {
 	gc       *Centralized
 	enrolled *centralEpoch
+	gone     bool
 }
 
 // Enter enrolls the worker in the current epoch by incrementing its shared
 // counter — the coherence traffic the decentralized scheme eliminates.
 func (h *centralHandle) Enter() {
+	if h.gone {
+		panic("epoch: Enter on unregistered handle")
+	}
 	for {
 		e := h.gc.current.Load()
 		e.active.Add(1)
@@ -183,9 +187,14 @@ func (h *centralHandle) Exit() {
 
 // Retire adds garbage to the current epoch's shared garbage list.
 func (h *centralHandle) Retire(fn func()) {
+	if h.gone {
+		panic("epoch: Retire on unregistered handle")
+	}
 	h.gc.stats.retired.Add(1)
 	h.gc.current.Load().garbage.push(fn)
 }
 
-// Unregister implements Handle. Centralized handles hold no local state.
-func (h *centralHandle) Unregister() {}
+// Unregister implements Handle. Centralized handles hold no local garbage
+// (it lives in the shared epoch lists), so unregistering only marks the
+// handle dead to catch post-Unregister use.
+func (h *centralHandle) Unregister() { h.gone = true }

@@ -189,6 +189,9 @@ type decentralHandle struct {
 // Enter publishes the worker's view of the global epoch. This is a single
 // uncontended store to a cache line owned by this worker.
 func (h *decentralHandle) Enter() {
+	if h.gone {
+		panic("epoch: Enter on unregistered handle")
+	}
 	h.local.Store(h.gc.global.Load())
 }
 
@@ -204,6 +207,9 @@ func (h *decentralHandle) Exit() {
 // Retire tags fn with the current global epoch and appends it to the
 // worker-private garbage list — no shared-memory writes.
 func (h *decentralHandle) Retire(fn func()) {
+	if h.gone {
+		panic("epoch: Retire on unregistered handle")
+	}
 	h.gc.stats.retired.Add(1)
 	h.garbage = append(h.garbage, taggedGarbage{epoch: h.gc.global.Load(), fn: fn})
 }

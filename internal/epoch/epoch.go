@@ -40,18 +40,38 @@ type GC interface {
 }
 
 // Handle is a per-worker capability to enter epochs and retire garbage.
+//
+// # Reuse contract
+//
+// A Handle is built for reuse: after Exit it may be re-Entered any number
+// of times, and a cached handle (e.g. one held by a long-lived session or
+// recycled through a Pool) stays valid across arbitrarily many Enter/Exit
+// cycles, including across epoch advances and across other handles being
+// registered and unregistered concurrently. Garbage retired in an earlier
+// cycle survives the idle gap and is reclaimed on a later Exit (or by the
+// parent GC once the handle unregisters).
+//
+// Unregister is terminal and idempotent: calling it twice is a no-op, but
+// after the first call the handle must never Enter or Retire again — both
+// schemes detect this and panic, because a post-Unregister Enter would be
+// invisible to reclamation scans and could let protected memory be freed
+// underfoot. Ownership of a handle may move between goroutines (a pool
+// hand-off) as long as the transfer itself establishes happens-before and
+// at most one goroutine uses the handle at a time.
 type Handle interface {
 	// Enter marks the start of an operation on the protected structure.
-	// Every Enter must be paired with exactly one Exit.
+	// Every Enter must be paired with exactly one Exit before the next
+	// Enter. Panics after Unregister.
 	Enter()
 	// Exit marks the end of the operation and may trigger reclamation.
 	Exit()
 	// Retire schedules fn to run once no concurrent operation can still
 	// observe the retired object. fn must be cheap and must not re-enter
-	// the GC.
+	// the GC. Panics after Unregister.
 	Retire(fn func())
 	// Unregister releases the handle. Pending garbage is handed to the
-	// parent GC for eventual reclamation.
+	// parent GC for eventual reclamation. Idempotent; any other use of
+	// the handle afterwards is a contract violation.
 	Unregister()
 }
 

@@ -1,0 +1,61 @@
+package epoch
+
+import "sync"
+
+// Pool recycles registered handles so short-lived sessions don't pay the
+// Register/Unregister round-trip (a mutex acquisition and registry churn
+// in the decentralized scheme) on every construction. Handles in the pool
+// stay registered with the parent GC: an idle decentralized handle never
+// blocks reclamation (its local epoch is idle), and its pending garbage is
+// reclaimed the next time a borrower's Exit crosses the threshold, or by
+// GC.Close.
+//
+// Get and Put are safe for concurrent use; the pool's internal lock is the
+// happens-before edge that lets a handle move between goroutines without
+// violating the single-owner rule in the Handle contract.
+type Pool struct {
+	gc   GC
+	mu   sync.Mutex
+	free []Handle
+}
+
+// NewPool returns an empty pool drawing fresh handles from gc.
+func NewPool(gc GC) *Pool { return &Pool{gc: gc} }
+
+// Get returns a pooled handle, or registers a fresh one when the pool is
+// empty. The handle is outside any critical section.
+func (p *Pool) Get() Handle {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		h := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return h
+	}
+	p.mu.Unlock()
+	return p.gc.Register()
+}
+
+// Put returns a handle for reuse. The handle must be outside any critical
+// section (Exit called) and must not have been unregistered; the caller
+// must not use it afterwards.
+func (p *Pool) Put(h Handle) {
+	p.mu.Lock()
+	p.free = append(p.free, h)
+	p.mu.Unlock()
+}
+
+// Drain unregisters every pooled handle, handing their pending garbage to
+// the parent GC. Call before GC.Close (Close also unregisters registered
+// handles, so Drain is belt-and-braces, but it makes the pool reusable
+// state explicit and idempotent).
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	free := p.free
+	p.free = nil
+	p.mu.Unlock()
+	for _, h := range free {
+		h.Unregister()
+	}
+}

@@ -1,0 +1,204 @@
+package epoch
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHandleReuseAfterExit pins the reuse contract: a cached handle may be
+// re-Entered after Exit arbitrarily many times, across epoch advances, and
+// garbage retired in an earlier Enter/Exit cycle is still reclaimed.
+func TestHandleReuseAfterExit(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			var freed atomic.Int64
+			h := gc.Register()
+			h.Enter()
+			h.Retire(func() { freed.Add(1) })
+			h.Exit()
+			// Idle gap with epoch advances in between.
+			time.Sleep(5 * time.Millisecond)
+			for i := 0; i < 1000; i++ {
+				h.Enter()
+				if i%3 == 0 {
+					h.Retire(func() { freed.Add(1) })
+				}
+				h.Exit()
+			}
+			h.Unregister()
+			gc.Close()
+			want := int64(1 + 334)
+			if freed.Load() != want {
+				t.Fatalf("freed %d, want %d", freed.Load(), want)
+			}
+		})
+	}
+}
+
+// TestUnregisterWithPendingGarbage pins the other half of the contract:
+// Unregister with garbage still pending hands it to the parent GC, and the
+// GC reclaims it while other workers keep running (no quiescence needed).
+func TestUnregisterWithPendingGarbage(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			defer gc.Close()
+			var freed atomic.Int64
+
+			// A bystander that keeps entering/exiting so reclamation has a
+			// live registry to scan against.
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b := gc.Register()
+				defer b.Unregister()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						b.Enter()
+						b.Retire(func() {}) // churn triggers reclamation scans
+						b.Exit()
+					}
+				}
+			}()
+
+			h := gc.Register()
+			h.Enter()
+			for i := 0; i < 10; i++ {
+				h.Retire(func() { freed.Add(1) })
+			}
+			h.Exit()
+			h.Unregister()
+			h.Unregister() // idempotent
+
+			deadline := time.Now().Add(5 * time.Second)
+			for freed.Load() != 10 && time.Now().Before(deadline) {
+				time.Sleep(2 * time.Millisecond)
+			}
+			close(stop)
+			wg.Wait()
+			if freed.Load() != 10 {
+				t.Fatalf("pending garbage reclaimed: %d of 10", freed.Load())
+			}
+		})
+	}
+}
+
+// TestUseAfterUnregisterPanics verifies the terminal half of the contract
+// is enforced, not just documented.
+func TestUseAfterUnregisterPanics(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			defer gc.Close()
+			h := gc.Register()
+			h.Enter()
+			h.Exit()
+			h.Unregister()
+			mustPanic(t, "Enter", func() { h.Enter() })
+			mustPanic(t, "Retire", func() { h.Retire(func() {}) })
+		})
+	}
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s after Unregister did not panic", what)
+		}
+	}()
+	f()
+}
+
+// TestPoolRecycles verifies a pooled handle is actually reused rather than
+// re-registered, and that garbage retired through one borrower is
+// reclaimed under a later borrower.
+func TestPoolRecycles(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			p := NewPool(gc)
+			h1 := p.Get()
+			var freed atomic.Int64
+			h1.Enter()
+			h1.Retire(func() { freed.Add(1) })
+			h1.Exit()
+			p.Put(h1)
+			h2 := p.Get()
+			if h2 != h1 {
+				t.Fatal("pool did not recycle the handle")
+			}
+			for i := 0; i < 100; i++ {
+				h2.Enter()
+				h2.Retire(func() { freed.Add(1) })
+				h2.Exit()
+				time.Sleep(time.Millisecond / 5)
+			}
+			p.Put(h2)
+			p.Drain()
+			gc.Close()
+			if freed.Load() != 101 {
+				t.Fatalf("freed %d of 101", freed.Load())
+			}
+		})
+	}
+}
+
+// TestPoolUnregisterChurn is the safety test the Pool exists for: handles
+// cycling through the pool concurrently with other handles registering and
+// unregistering (with pending garbage) must neither race, nor deadlock,
+// nor lose garbage.
+func TestPoolUnregisterChurn(t *testing.T) {
+	for name, mk := range gcs(t) {
+		t.Run(name, func(t *testing.T) {
+			gc := mk()
+			p := NewPool(gc)
+			var retired, freed atomic.Int64
+			nw := runtime.GOMAXPROCS(0) * 2
+			if nw < 4 {
+				nw = 4
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 500; i++ {
+						if w%2 == 0 {
+							// Pool borrower.
+							h := p.Get()
+							h.Enter()
+							retired.Add(1)
+							h.Retire(func() { freed.Add(1) })
+							h.Exit()
+							p.Put(h)
+						} else {
+							// Register/Unregister churn with garbage pending.
+							h := gc.Register()
+							h.Enter()
+							retired.Add(1)
+							h.Retire(func() { freed.Add(1) })
+							h.Exit()
+							h.Unregister()
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			p.Drain()
+			gc.Close()
+			if retired.Load() != freed.Load() {
+				t.Fatalf("retired %d, freed %d", retired.Load(), freed.Load())
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/ycsb"
+)
+
+// RunPhaseBatch is RunPhaseLat driving sessions through the
+// index.BatchSession interface: each worker accumulates operations from
+// its stream into a window of batch ops, groups the window's reads into
+// one LookupBatch call and its inserts into one InsertBatch call, and
+// runs updates and scans (which have no batched form) singly in stream
+// order. Indexes without a native batch path go through the per-op loop
+// adapter, so the same phase works for all six indexes.
+//
+// When lat is non-nil, each batch call is recorded once under the
+// obs.OpBatch class and single ops under their own classes. Per-op
+// latencies inside a native batch are the index's own business (the
+// Bw-Tree records them internally when built with LatencyHistograms).
+func RunPhaseBatch(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads int, seed uint64, batch int, lat *obs.LatencySnapshot) time.Duration {
+	if batch <= 1 {
+		return RunPhaseLat(idx, ks, w, ops, threads, seed, lat)
+	}
+	perWorker := ops / threads
+	extra := ops % threads
+	recs := make([]*obs.Recorder, threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := 0; t < threads; t++ {
+		n := perWorker
+		if t < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(worker, n int) {
+			defer wg.Done()
+			s := index.AsBatch(idx.NewSession())
+			defer s.Release()
+			stream := ycsb.NewStream(w, ks, worker, phaseSeed(seed, uint64(worker)))
+			var rec *obs.Recorder
+			if lat != nil {
+				rec = &obs.Recorder{}
+				recs[worker] = rec
+			}
+			rkeys := make([][]byte, 0, batch)
+			ikeys := make([][]byte, 0, batch)
+			ivals := make([]uint64, 0, batch)
+			var ok []bool
+			flush := func() {
+				if len(ikeys) > 0 {
+					t0 := int64(0)
+					if rec != nil {
+						t0 = obs.Now()
+					}
+					ok = s.InsertBatch(ikeys, ivals, ok)
+					if rec != nil {
+						rec.Record(obs.OpBatch, obs.Now()-t0)
+					}
+					ikeys, ivals = ikeys[:0], ivals[:0]
+				}
+				if len(rkeys) > 0 {
+					t0 := int64(0)
+					if rec != nil {
+						t0 = obs.Now()
+					}
+					s.LookupBatch(rkeys, visitBatchNop)
+					if rec != nil {
+						rec.Record(obs.OpBatch, obs.Now()-t0)
+					}
+					rkeys = rkeys[:0]
+				}
+			}
+			for i := 0; i < n; i++ {
+				op := stream.Next()
+				switch op.Kind {
+				case ycsb.OpRead:
+					// Stream keys are stable slices (population keys or fresh
+					// allocations), so deferring them to the flush is safe.
+					rkeys = append(rkeys, op.Key)
+				case ycsb.OpInsert:
+					ikeys = append(ikeys, op.Key)
+					ivals = append(ivals, op.Value)
+				case ycsb.OpUpdate:
+					t0 := int64(0)
+					if rec != nil {
+						t0 = obs.Now()
+					}
+					s.Update(op.Key, op.Value)
+					if rec != nil {
+						rec.Record(obs.OpUpdate, obs.Now()-t0)
+					}
+				case ycsb.OpScan:
+					t0 := int64(0)
+					if rec != nil {
+						t0 = obs.Now()
+					}
+					s.Scan(op.Key, op.ScanLen, visitNop)
+					if rec != nil {
+						rec.Record(obs.OpScan, obs.Now()-t0)
+					}
+				}
+				if len(rkeys)+len(ikeys) >= batch {
+					flush()
+				}
+			}
+			flush()
+		}(t, n)
+	}
+	wg.Wait()
+	dur := time.Since(start)
+	if lat != nil {
+		for _, rec := range recs {
+			if rec != nil {
+				rec.AddTo(lat)
+			}
+		}
+	}
+	return dur
+}
+
+func visitBatchNop(i int, vals []uint64) {}

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/ycsb"
+)
+
+// gateFailures counts acceptance-gate failures (bench-gate regressions,
+// checked-experiment violations) so command frontends can turn them into
+// a non-zero exit without parsing report text.
+var gateFailures atomic.Int64
+
+// GateFailures returns the number of gate failures recorded by
+// experiments run in this process.
+func GateFailures() int { return int(gateFailures.Load()) }
+
+// BenchGateFile is the report the bench-gate experiment writes and the
+// committed baseline it compares against.
+type BenchGateFile struct {
+	// Config pins what was measured, for report readers; runs with a
+	// different config are compared anyway (the gate is a regression
+	// tripwire, not a lab instrument).
+	Config struct {
+		Workload string `json:"workload"`
+		KeyType  string `json:"keytype"`
+		Keys     int    `json:"keys"`
+		Ops      int    `json:"ops"`
+		Threads  int    `json:"threads"`
+		Batch    int    `json:"batch"`
+		Seed     uint64 `json:"seed"`
+	} `json:"config"`
+	Unbatched BenchGatePoint `json:"unbatched"`
+	Batched   BenchGatePoint `json:"batched"`
+	// Speedup is Batched.Mops / Unbatched.Mops.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchGatePoint is one measured mode.
+type BenchGatePoint struct {
+	Mops  float64 `json:"mops"`
+	P50us float64 `json:"p50_us"`
+	P99us float64 `json:"p99_us"`
+	// LeafHits/ParentHits report how often the batched traversal reused
+	// its cache instead of descending from the root (zero when unbatched).
+	LeafHits   uint64 `json:"leaf_hits,omitempty"`
+	ParentHits uint64 `json:"parent_hits,omitempty"`
+}
+
+// benchGateBatch is the window size the gate measures with: large enough
+// that sorted keys cluster per leaf (leaves hold ~128 keys, so the window
+// must sample the key space densely), small enough to be a plausible
+// request-level batch.
+const benchGateBatch = 2048
+
+// envFloat reads a float64 override from the environment.
+func envFloat(name string, def float64) float64 {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+// BenchGate is the benchmark-regression gate: it measures the OpenBw-Tree
+// on the read-heavy YCSB-C mix unbatched and batched (window of 2048),
+// writes the result to BENCH_hotpath.json (override with BENCH_GATE_OUT),
+// and fails the gate when
+//
+//   - the batched path is not at least BENCH_GATE_MIN_SPEEDUP (default
+//     1.15) times faster than the unbatched path measured in the same
+//     process, or
+//   - a committed baseline exists (BENCH_GATE_BASELINE, default
+//     bench/BENCH_hotpath.json) and batched throughput dropped more than
+//     BENCH_GATE_TOLERANCE (default 0.25) below it, or batched p99 rose
+//     more than twice that tolerance above it.
+//
+// The tolerance is deliberately generous: the gate runs on shared CI
+// machines and must only catch real regressions, not scheduler noise.
+// Both modes run with the tree's internal latency histograms enabled so
+// the p99 comparison carries equal instrumentation overhead.
+func BenchGate(w io.Writer, sc Scale) {
+	var rep BenchGateFile
+	rep.Config.Workload = ycsb.ReadOnly.String()
+	rep.Config.KeyType = ycsb.RandInt.String()
+	rep.Config.Keys = sc.Keys
+	rep.Config.Ops = sc.Ops
+	rep.Config.Threads = sc.Threads
+	rep.Config.Batch = benchGateBatch
+	rep.Config.Seed = sc.Seed
+
+	opts := core.DefaultOptions()
+	opts.LatencyHistograms = true
+	measure := func(batch int) BenchGatePoint {
+		idx := index.NewBwTreeWith("gate", opts)
+		defer idx.Close()
+		ks := ycsb.NewKeySet(ycsb.RandInt, sc.Keys)
+		RunPhase(idx, ks, ycsb.InsertOnly, sc.Keys, sc.Threads, phaseSeed(sc.Seed, 0))
+		tree := idx.(index.BwBacked).Tree()
+		preStats := tree.Stats()
+		dur := RunPhaseBatch(idx, ks, ycsb.ReadOnly, sc.Ops, sc.Threads, phaseSeed(sc.Seed, 1), batch, nil)
+		var pt BenchGatePoint
+		pt.Mops = mops(sc.Ops, dur)
+		if lat := tree.Latencies(); lat != nil {
+			reads := lat.Class(obs.OpRead)
+			pt.P50us = reads.Quantile(0.50) / 1e3
+			pt.P99us = reads.Quantile(0.99) / 1e3
+		}
+		st := tree.Stats()
+		pt.LeafHits = st.BatchLeafHits - preStats.BatchLeafHits
+		pt.ParentHits = st.BatchParentHits - preStats.BatchParentHits
+		return pt
+	}
+	rep.Unbatched = measure(0)
+	rep.Batched = measure(benchGateBatch)
+	if rep.Unbatched.Mops > 0 {
+		rep.Speedup = rep.Batched.Mops / rep.Unbatched.Mops
+	}
+
+	out := os.Getenv("BENCH_GATE_OUT")
+	if out == "" {
+		out = "BENCH_hotpath.json"
+	}
+	if data, err := json.MarshalIndent(&rep, "", "  "); err == nil {
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(w, "bench-gate: cannot write %s: %v\n", out, err)
+		}
+	}
+
+	tbl := NewTable(fmt.Sprintf("Bench gate: YCSB-C Rand-Int, %d threads, batch=%d", sc.Threads, benchGateBatch),
+		"Mops/s", "p50 µs", "p99 µs", "leaf hits", "parent hits")
+	tbl.AddRow("unbatched", f3(rep.Unbatched.Mops), fmt.Sprintf("%.2f", rep.Unbatched.P50us),
+		fmt.Sprintf("%.2f", rep.Unbatched.P99us), "-", "-")
+	tbl.AddRow("batched", f3(rep.Batched.Mops), fmt.Sprintf("%.2f", rep.Batched.P50us),
+		fmt.Sprintf("%.2f", rep.Batched.P99us),
+		fmt.Sprint(rep.Batched.LeafHits), fmt.Sprint(rep.Batched.ParentHits))
+	tbl.Note("Report written to %s.", out)
+	tbl.WriteTo(w)
+
+	failed := false
+	minSpeedup := envFloat("BENCH_GATE_MIN_SPEEDUP", 1.15)
+	if rep.Speedup < minSpeedup {
+		failed = true
+		fmt.Fprintf(w, "bench-gate: FAIL batched speedup %.3fx < required %.2fx\n", rep.Speedup, minSpeedup)
+	} else {
+		fmt.Fprintf(w, "bench-gate: batched speedup %.3fx (>= %.2fx)\n", rep.Speedup, minSpeedup)
+	}
+
+	baselinePath := os.Getenv("BENCH_GATE_BASELINE")
+	if baselinePath == "" {
+		baselinePath = "bench/BENCH_hotpath.json"
+	}
+	if data, err := os.ReadFile(baselinePath); err == nil {
+		var base BenchGateFile
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(w, "bench-gate: unreadable baseline %s: %v\n", baselinePath, err)
+		} else {
+			tol := envFloat("BENCH_GATE_TOLERANCE", 0.25)
+			if floor := base.Batched.Mops * (1 - tol); rep.Batched.Mops < floor {
+				failed = true
+				fmt.Fprintf(w, "bench-gate: FAIL batched %.3f Mops/s under baseline floor %.3f (baseline %.3f, tolerance %.0f%%)\n",
+					rep.Batched.Mops, floor, base.Batched.Mops, tol*100)
+			}
+			if ceil := base.Batched.P99us * (1 + 2*tol); base.Batched.P99us > 0 && rep.Batched.P99us > ceil {
+				failed = true
+				fmt.Fprintf(w, "bench-gate: FAIL batched p99 %.2fµs over baseline ceiling %.2fµs (baseline %.2fµs)\n",
+					rep.Batched.P99us, ceil, base.Batched.P99us)
+			}
+			if !failed {
+				fmt.Fprintf(w, "bench-gate: within tolerance of baseline %s (batched %.3f vs %.3f Mops/s)\n",
+					baselinePath, rep.Batched.Mops, base.Batched.Mops)
+			}
+		}
+	} else {
+		fmt.Fprintf(w, "bench-gate: no baseline at %s; speedup check only\n", baselinePath)
+	}
+	if failed {
+		gateFailures.Add(1)
+	}
+}

@@ -41,7 +41,6 @@ func Checked(w io.Writer, sc Scale) {
 	for i, m := range mixes {
 		cols[i] = m.Name
 	}
-	tbl := NewTable("Checked: history-checker verdict per index and mix (ops checked / violations)", cols...)
 
 	// Never drop below the default 4 worker goroutines: the point is
 	// interleaving, which needs more goroutines than the benchmark thread
@@ -50,34 +49,50 @@ func Checked(w io.Writer, sc Scale) {
 	if sc.Threads > cfg.Threads && sc.Threads <= 8 {
 		cfg.Threads = sc.Threads
 	}
+
 	failures := 0
-	for _, e := range entries {
-		cells := make([]string, len(mixes))
-		for i, mix := range mixes {
-			idx := e.mk()
-			vs, h := histcheck.RunChecked(idx, false, mix, cfg)
-			idx.Close()
-			if len(vs) == 0 {
-				cells[i] = fmt.Sprintf("%d ok", len(h.Ops))
-				continue
-			}
-			failures += len(vs)
-			cells[i] = fmt.Sprintf("%d FAIL(%d)", len(h.Ops), len(vs))
-			for j, v := range vs {
-				if j == 5 {
-					fmt.Fprintf(w, "  ... %d more\n", len(vs)-5)
-					break
+	runTable := func(title string, cfg histcheck.RunConfig) {
+		tbl := NewTable(title, cols...)
+		for _, e := range entries {
+			cells := make([]string, len(mixes))
+			for i, mix := range mixes {
+				idx := e.mk()
+				vs, h := histcheck.RunChecked(idx, false, mix, cfg)
+				idx.Close()
+				if len(vs) == 0 {
+					cells[i] = fmt.Sprintf("%d ok", len(h.Ops))
+					continue
 				}
-				fmt.Fprintf(w, "  %s / %s: %v\n", e.name, mix.Name, v)
+				failures += len(vs)
+				cells[i] = fmt.Sprintf("%d FAIL(%d)", len(h.Ops), len(vs))
+				for j, v := range vs {
+					if j == 5 {
+						fmt.Fprintf(w, "  ... %d more\n", len(vs)-5)
+						break
+					}
+					fmt.Fprintf(w, "  %s / %s: %v\n", e.name, mix.Name, v)
+				}
 			}
+			tbl.AddRow(e.name, cells...)
 		}
-		tbl.AddRow(e.name, cells...)
+		if cfg.Batch > 1 {
+			tbl.Note("Inserts and lookups run through InsertBatch/LookupBatch (window %d); deletes, updates, and scans interleave single-op.", cfg.Batch)
+		} else {
+			tbl.Note("Each cell is one concurrent run (%d threads) verified for per-key linearizability and scan completeness.", cfg.Threads)
+		}
+		tbl.WriteTo(w)
 	}
-	tbl.Note("Each cell is one concurrent run (%d threads) verified for per-key linearizability and scan completeness.", cfg.Threads)
-	tbl.WriteTo(w)
+	runTable("Checked: history-checker verdict per index and mix (ops checked / violations)", cfg)
+	// Batched variant: the same mixes with inserts and lookups routed
+	// through the batch entry points, so the amortized-epoch hot path gets
+	// the same linearizability verdict as the single-op path.
+	bcfg := cfg
+	bcfg.Batch = 16
+	runTable("Checked (batched): InsertBatch/LookupBatch under the history checker", bcfg)
 	if failures == 0 {
-		fmt.Fprintf(w, "checked: zero violations across %d runs\n", len(entries)*len(mixes))
+		fmt.Fprintf(w, "checked: zero violations across %d runs\n", 2*len(entries)*len(mixes))
 	} else {
 		fmt.Fprintf(w, "checked: %d VIOLATIONS — see above\n", failures)
+		gateFailures.Add(1)
 	}
 }

@@ -56,6 +56,7 @@ func Experiments() []Experiment {
 		{"fig18", "Feature decomposition (-DC, -CAS, -MT, -DU)", Fig18},
 		{"latency", "Operation latency percentiles, Bw-Tree vs OpenBw-Tree", Latency},
 		{"checked", "History-checked correctness sweep: all indexes, three mixes, both GC schemes", Checked},
+		{"bench-gate", "Benchmark-regression gate: batched vs unbatched hot path, JSON report + baseline check", BenchGate},
 	}
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -81,6 +82,12 @@ func TestExperimentsSmoke(t *testing.T) {
 	sc := tinyScale()
 	for _, e := range Experiments() {
 		t.Run(e.Name, func(t *testing.T) {
+			// bench-gate writes a JSON report and asserts a speedup that
+			// tiny scales cannot show; point it at a scratch file and
+			// disable the ratio assertion — this smoke only checks that
+			// the driver completes.
+			t.Setenv("BENCH_GATE_OUT", filepath.Join(t.TempDir(), "BENCH_hotpath.json"))
+			t.Setenv("BENCH_GATE_MIN_SPEEDUP", "0")
 			var b strings.Builder
 			e.Run(&b, sc)
 			if !strings.Contains(b.String(), "===") {

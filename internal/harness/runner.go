@@ -35,6 +35,10 @@ type Config struct {
 	// histograms: the harness times each call at the session boundary, so
 	// it works for every index, not just the Bw-Tree.
 	MeasureLatency bool
+	// BatchSize > 1 drives the run phase through the BatchSession
+	// interface in windows of this many operations (see RunPhaseBatch).
+	// The load phase of mixed workloads stays unbatched.
+	BatchSize int
 }
 
 // Result is one run's measurements.
@@ -94,19 +98,20 @@ func Run(mk func() index.Index, cfg Config) Result {
 	}
 	if loadOps > 0 {
 		// For Insert-only configs the load phase is the measured run, so
-		// latency collection (when requested) must cover it; for mixed
-		// workloads the load is just setup and stays uninstrumented.
-		loadLat := lat
+		// latency collection (when requested) must cover it and batching
+		// (when requested) applies; for mixed workloads the load is just
+		// setup and stays uninstrumented and unbatched.
+		loadLat, loadBatch := lat, cfg.BatchSize
 		if cfg.Workload != ycsb.InsertOnly {
-			loadLat = nil
+			loadLat, loadBatch = nil, 0
 		}
-		dur := RunPhaseLat(idx, ks, ycsb.InsertOnly, loadOps, cfg.Threads, phaseSeed(cfg.Seed, 0), loadLat)
+		dur := RunPhaseBatch(idx, ks, ycsb.InsertOnly, loadOps, cfg.Threads, phaseSeed(cfg.Seed, 0), loadBatch, loadLat)
 		res.LoadMops = mops(loadOps, dur)
 	}
 	if cfg.Workload == ycsb.InsertOnly {
 		if loadOps == 0 {
 			// Mono-HC Insert-only: the run phase does the inserting.
-			dur := RunPhaseLat(idx, ks, ycsb.InsertOnly, cfg.Ops, cfg.Threads, phaseSeed(cfg.Seed, 0), lat)
+			dur := RunPhaseBatch(idx, ks, ycsb.InsertOnly, cfg.Ops, cfg.Threads, phaseSeed(cfg.Seed, 0), cfg.BatchSize, lat)
 			res.RunMops = mops(cfg.Ops, dur)
 			res.Ops = cfg.Ops
 		} else {
@@ -114,7 +119,7 @@ func Run(mk func() index.Index, cfg Config) Result {
 			res.Ops = loadOps
 		}
 	} else {
-		dur := RunPhaseLat(idx, ks, cfg.Workload, cfg.Ops, cfg.Threads, phaseSeed(cfg.Seed, 1), lat)
+		dur := RunPhaseBatch(idx, ks, cfg.Workload, cfg.Ops, cfg.Threads, phaseSeed(cfg.Seed, 1), cfg.BatchSize, lat)
 		res.RunMops = mops(cfg.Ops, dur)
 		res.Ops = cfg.Ops
 	}

@@ -39,7 +39,13 @@ type RunConfig struct {
 	Preload int
 	// ScanLen is the scan item limit.
 	ScanLen int
-	Seed    uint64
+	// Batch, when above 1, routes inserts and lookups through the
+	// recording session's InsertBatch/LookupBatch: each worker accumulates
+	// them until the window is full and flushes, so every batch entry
+	// point runs under concurrent checking. Deletes, updates, and scans
+	// stay single-op, interleaving with in-flight batches.
+	Batch int
+	Seed  uint64
 }
 
 // DefaultRunConfig returns the sizing used by the checked experiment and
@@ -81,12 +87,34 @@ func RunChecked(idx index.Index, nonUnique bool, mix Mix, cfg RunConfig) ([]Viol
 			defer wg.Done()
 			s := c.NewSession()
 			defer s.Release()
+			bs := index.AsBatch(s)
 			rng := rngState(splitmix64(cfg.Seed + uint64(worker)*0x9E3779B97F4A7C15))
 			// Remember the last value this worker wrote per key so
 			// non-unique deletes target pairs that plausibly exist.
 			lastVal := map[uint64]uint64{}
 			var kb [8]byte
 			var out []uint64
+			// Batch accumulators (cfg.Batch > 1): pending inserts and
+			// lookups, flushed when either window fills or the run ends.
+			var ikeys [][]byte
+			var ivals []uint64
+			var lkeys [][]byte
+			var okBuf []bool
+			flush := func() {
+				if len(ikeys) > 0 {
+					okBuf = bs.InsertBatch(ikeys, ivals, okBuf)
+					for i, ok := range okBuf[:len(ikeys)] {
+						if ok {
+							lastVal[binary.BigEndian.Uint64(ikeys[i])] = ivals[i]
+						}
+					}
+					ikeys, ivals = ikeys[:0], ivals[:0]
+				}
+				if len(lkeys) > 0 {
+					bs.LookupBatch(lkeys, func(int, []uint64) {})
+					lkeys = lkeys[:0]
+				}
+			}
 			for i := 0; i < cfg.OpsPerThread; i++ {
 				k := rng.next() % uint64(cfg.Keys)
 				binary.BigEndian.PutUint64(kb[:], k)
@@ -94,7 +122,10 @@ func RunChecked(idx index.Index, nonUnique bool, mix Mix, cfg RunConfig) ([]Viol
 				switch {
 				case w < mix.Insert:
 					v := valCtr.Add(1)
-					if s.Insert(kb[:], v) {
+					if cfg.Batch > 1 {
+						ikeys = append(ikeys, append([]byte(nil), kb[:]...))
+						ivals = append(ivals, v)
+					} else if s.Insert(kb[:], v) {
 						lastVal[k] = v
 					}
 				case w < mix.Insert+mix.Delete:
@@ -108,11 +139,19 @@ func RunChecked(idx index.Index, nonUnique bool, mix Mix, cfg RunConfig) ([]Viol
 						lastVal[k] = v
 					}
 				case w < mix.Insert+mix.Delete+mix.Update+mix.Lookup:
-					out = s.Lookup(kb[:], out[:0])
+					if cfg.Batch > 1 {
+						lkeys = append(lkeys, append([]byte(nil), kb[:]...))
+					} else {
+						out = s.Lookup(kb[:], out[:0])
+					}
 				default:
 					s.Scan(kb[:], cfg.ScanLen, func([]byte, uint64) bool { return true })
 				}
+				if cfg.Batch > 1 && len(ikeys)+len(lkeys) >= cfg.Batch {
+					flush()
+				}
 			}
+			flush()
 		}(t)
 	}
 	wg.Wait()

@@ -138,7 +138,8 @@ func (c *Checked) NewSession() index.Session {
 	l := &sessionLog{thread: len(c.logs)}
 	c.logs = append(c.logs, l)
 	c.mu.Unlock()
-	return &session{c: c, inner: c.inner.NewSession(), log: l}
+	inner := c.inner.NewSession()
+	return &session{c: c, inner: inner, batch: index.AsBatch(inner), log: l}
 }
 
 // Ops reports how many operations have been recorded so far. Only exact
@@ -173,10 +174,17 @@ func (c *Checked) Check() []Violation {
 }
 
 // session is one worker's recording view. Like every index.Session it must
-// be used by at most one goroutine.
+// be used by at most one goroutine. It natively implements
+// index.BatchSession: batched calls are forwarded to the inner session's
+// batch path and recorded as one Record per constituent operation, all
+// sharing the whole-batch invocation/response interval. The shared
+// interval is sound — it is wider than each op's true interval, and wider
+// intervals only relax the precedence constraints the checker enforces,
+// so a history that fails with them contains a real violation.
 type session struct {
 	c     *Checked
 	inner index.Session
+	batch index.BatchSession
 	log   *sessionLog
 }
 
@@ -235,6 +243,47 @@ func (s *session) Scan(start []byte, n int, visit func(key []byte, value uint64)
 	ret := s.c.clock.Add(1)
 	s.record(Record{Kind: OpScan, Key: string(start), ScanN: n, Pairs: pairs, Stopped: stopped, Inv: inv, Ret: ret})
 	return count
+}
+
+func (s *session) InsertBatch(keys [][]byte, vals []uint64, ok []bool) []bool {
+	inv := s.c.clock.Add(1)
+	ok = s.batch.InsertBatch(keys, vals, ok)
+	ret := s.c.clock.Add(1)
+	for i := range keys {
+		s.record(Record{Kind: OpInsert, Key: string(keys[i]), Value: vals[i], OK: ok[i], Inv: inv, Ret: ret})
+	}
+	return ok
+}
+
+func (s *session) DeleteBatch(keys [][]byte, vals []uint64, ok []bool) []bool {
+	inv := s.c.clock.Add(1)
+	ok = s.batch.DeleteBatch(keys, vals, ok)
+	ret := s.c.clock.Add(1)
+	for i := range keys {
+		s.record(Record{Kind: OpDelete, Key: string(keys[i]), Value: vals[i], OK: ok[i], Inv: inv, Ret: ret})
+	}
+	return ok
+}
+
+// LookupBatch defers the caller's visits until the inner batch call has
+// returned, so each recorded lookup carries the full batch interval.
+func (s *session) LookupBatch(keys [][]byte, visit func(i int, vals []uint64)) {
+	inv := s.c.clock.Add(1)
+	type res struct {
+		i    int
+		vals []uint64
+	}
+	results := make([]res, 0, len(keys))
+	s.batch.LookupBatch(keys, func(i int, vals []uint64) {
+		// vals may alias the inner session's scratch buffer; copy before
+		// the next visit overwrites it.
+		results = append(results, res{i: i, vals: append([]uint64(nil), vals...)})
+	})
+	ret := s.c.clock.Add(1)
+	for _, r := range results {
+		s.record(Record{Kind: OpLookup, Key: string(keys[r.i]), Vals: r.vals, Inv: inv, Ret: ret})
+		visit(r.i, r.vals)
+	}
 }
 
 func (s *session) Release() { s.inner.Release() }

@@ -197,6 +197,64 @@ func TestScanStoppedIsOnlyAPrefix(t *testing.T) {
 	}))
 }
 
+// TestBatchSharedIntervalAccepted pins the soundness argument for batch
+// recording: all records of one batch share the whole-batch interval, so
+// same-key entries are mutually concurrent and any per-key order must be
+// admitted.
+func TestBatchSharedIntervalAccepted(t *testing.T) {
+	// One InsertBatch containing a duplicate key: exactly one wins, and
+	// both records carry the same [1, 2] interval.
+	wantClean(t, &History{Ops: []Record{
+		{Kind: OpInsert, Key: "a", Value: 1, OK: true, Inv: 1, Ret: 2},
+		{Kind: OpInsert, Key: "a", Value: 2, OK: false, Inv: 1, Ret: 2},
+		{Kind: OpLookup, Key: "a", Vals: []uint64{1}, Inv: 3, Ret: 4},
+	}})
+	// A batch lookup racing the batch insert may see either state.
+	wantClean(t, &History{Ops: []Record{
+		{Kind: OpInsert, Key: "a", Value: 1, OK: true, Inv: 1, Ret: 4},
+		{Kind: OpLookup, Key: "a", Vals: nil, Inv: 2, Ret: 3},
+		{Kind: OpLookup, Key: "b", Vals: nil, Inv: 2, Ret: 3},
+	}})
+}
+
+// TestRunCheckedBatchedClean is TestRunCheckedClean with inserts and
+// lookups routed through the batch entry points (window 16). The Bw-Tree
+// runs its native amortized-epoch batch path; the other indexes cover the
+// loop adapter.
+func TestRunCheckedBatchedClean(t *testing.T) {
+	type entry struct {
+		name string
+		mk   func() index.Index
+	}
+	entries := []entry{
+		{"OpenBwTree", index.NewOpenBwTree},
+		{"BwTree", index.NewBaselineBwTree},
+	}
+	if !testing.Short() {
+		entries = append(entries, entry{"SkipList", index.NewSkipList})
+	}
+	for _, e := range entries {
+		for _, mix := range Mixes() {
+			t.Run(e.name+"/"+mix.Name, func(t *testing.T) {
+				idx := e.mk()
+				defer idx.Close()
+				cfg := DefaultRunConfig(0xBA7C4)
+				cfg.Batch = 16
+				if testing.Short() {
+					cfg.OpsPerThread = 800
+				}
+				vs, h := RunChecked(idx, false, mix, cfg)
+				for _, v := range vs {
+					t.Errorf("violation: %v", v)
+				}
+				if len(h.Ops) < cfg.Threads*cfg.OpsPerThread {
+					t.Fatalf("history too small: %d ops", len(h.Ops))
+				}
+			})
+		}
+	}
+}
+
 // TestRunCheckedClean runs every index through every mix with the
 // recorder attached and requires a spotless verdict. In short mode only
 // the two Bw-Tree configurations run (the CI race job's target); the full

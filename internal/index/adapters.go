@@ -52,6 +52,17 @@ func (s *bwSession) Scan(start []byte, n int, visit func([]byte, uint64) bool) i
 }
 func (s *bwSession) Release() { s.s.Release() }
 
+// bwSession implements BatchSession natively via the core batch path.
+func (s *bwSession) InsertBatch(keys [][]byte, vals []uint64, ok []bool) []bool {
+	return s.s.InsertBatch(keys, vals, ok)
+}
+func (s *bwSession) DeleteBatch(keys [][]byte, vals []uint64, ok []bool) []bool {
+	return s.s.DeleteBatch(keys, vals, ok)
+}
+func (s *bwSession) LookupBatch(keys [][]byte, visit func(i int, vals []uint64)) {
+	s.s.LookupBatch(keys, visit)
+}
+
 // stateless adapts indexes whose operations need no per-goroutine state.
 type stateless struct {
 	name   string

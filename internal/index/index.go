@@ -50,6 +50,77 @@ type Session interface {
 	Release()
 }
 
+// BatchSession extends Session with amortized batched operations: one
+// call covers many keys, letting the implementation pay fixed costs
+// (epoch protection, traversal) once per batch instead of once per op.
+// Results are reported under the caller's original indices even if the
+// implementation internally reorders the keys.
+type BatchSession interface {
+	Session
+	// InsertBatch inserts every (keys[i], vals[i]) pair and returns
+	// per-pair results in ok (reused when its capacity suffices), with
+	// Insert's semantics per pair.
+	InsertBatch(keys [][]byte, vals []uint64, ok []bool) []bool
+	// DeleteBatch removes every (keys[i], vals[i]) pair with Delete's
+	// semantics per pair.
+	DeleteBatch(keys [][]byte, vals []uint64, ok []bool) []bool
+	// LookupBatch invokes visit exactly once per key — possibly out of
+	// submission order — with i the key's original index and vals the
+	// values found (empty on a miss). vals may alias internal scratch and
+	// is only valid during the callback.
+	LookupBatch(keys [][]byte, visit func(i int, vals []uint64))
+}
+
+// AsBatch returns s as a BatchSession: natively when the index
+// implements batching (the Bw-Tree), otherwise through a per-op loop
+// adapter so harness code can drive every index down one code path.
+func AsBatch(s Session) BatchSession {
+	if b, ok := s.(BatchSession); ok {
+		return b
+	}
+	return &loopBatch{Session: s}
+}
+
+// loopBatch trivially implements BatchSession over single ops.
+type loopBatch struct {
+	Session
+	scratch []uint64
+}
+
+func (b *loopBatch) InsertBatch(keys [][]byte, vals []uint64, ok []bool) []bool {
+	ok = resizeBools(ok, len(keys))
+	for i, k := range keys {
+		ok[i] = b.Insert(k, vals[i])
+	}
+	return ok
+}
+
+func (b *loopBatch) DeleteBatch(keys [][]byte, vals []uint64, ok []bool) []bool {
+	ok = resizeBools(ok, len(keys))
+	for i, k := range keys {
+		ok[i] = b.Delete(k, vals[i])
+	}
+	return ok
+}
+
+func (b *loopBatch) LookupBatch(keys [][]byte, visit func(i int, vals []uint64)) {
+	for i, k := range keys {
+		b.scratch = b.Lookup(k, b.scratch[:0])
+		visit(i, b.scratch)
+	}
+}
+
+func resizeBools(ok []bool, n int) []bool {
+	if cap(ok) < n {
+		return make([]bool, n)
+	}
+	ok = ok[:n]
+	for i := range ok {
+		ok[i] = false
+	}
+	return ok
+}
+
 // EncodeUint64 writes v into an 8-byte big-endian buffer, the
 // binary-comparable form required by the trie-based indexes (§6 of the
 // paper: "keys must be preprocessed to have a totally ordered binary

@@ -25,11 +25,15 @@ const (
 	OpDelete
 	OpRead
 	OpScan
+	// OpBatch records whole batch-call latencies (one observation per
+	// InsertBatch/DeleteBatch/LookupBatch call), alongside the per-op
+	// classes above — the visible cost of epoch amortization.
+	OpBatch
 	// NumOpClasses bounds arrays indexed by OpClass.
 	NumOpClasses
 )
 
-var opClassNames = [NumOpClasses]string{"insert", "update", "delete", "read", "scan"}
+var opClassNames = [NumOpClasses]string{"insert", "update", "delete", "read", "scan", "batch"}
 
 // String returns the lower-case class name used in reports and JSON.
 func (c OpClass) String() string {
