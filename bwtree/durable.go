@@ -1,0 +1,587 @@
+package bwtree
+
+import (
+	"errors"
+	"hash/maphash"
+	"runtime"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Tree configures the in-memory index. Zero-value fields are filled
+	// with defaults as in New.
+	Tree Options
+	// WAL configures the log writer (segment size, group-commit interval
+	// and size, NoSync).
+	WAL wal.Options
+	// SyncOnCommit makes every mutating operation wait until its log
+	// record is fsynced before returning — the acknowledged-write
+	// guarantee. When false, mutations return after the record is
+	// buffered; durability lags by one group-commit flush and a crash may
+	// lose the most recent acknowledgements (bounded by Sync/Checkpoint
+	// calls). The in-memory result is identical either way.
+	SyncOnCommit bool
+}
+
+// Durable wraps a Tree with write-ahead logging, epoch-consistent
+// checkpoints, and crash recovery (see internal/wal for the on-disk
+// format). Every mutation is logged before it is applied; recovery
+// rebuilds the tree from the newest checkpoint snapshot via BulkLoad and
+// replays the log tail.
+//
+// Concurrency: obtain one DurableSession per goroutine, exactly as with
+// Tree. Commit ordering between conflicting operations is established by
+// a striped lock held across the log-append + tree-apply pair, so the
+// log's LSN order agrees with the tree's apply order for any single key —
+// the property replay depends on. Checkpoint runs concurrently with
+// writers.
+type Durable struct {
+	t   *Tree
+	w   *wal.Writer
+	dir string
+	o   DurableOptions
+	rec RecoveryStats
+
+	// stripes serialize log-append+apply for conflicting keys. 256 ways
+	// keeps disjoint-key concurrency while making same-key commit order
+	// deterministic.
+	stripes [256]sync.Mutex
+	seed    maphash.Seed
+
+	mu     sync.Mutex // guards checkpoint/close lifecycle and the convenience session
+	closed bool
+	convs  *Session // lazy session backing the convenience methods
+}
+
+// RecoveryStats describes what OpenDurable had to do to rebuild state.
+type RecoveryStats struct {
+	// SnapshotKeys is the number of pairs bulk-loaded from the
+	// checkpoint snapshot (0 when none existed).
+	SnapshotKeys uint64
+	// SnapshotLSN is the manifest's replay-start LSN.
+	SnapshotLSN uint64
+	// Replayed is the number of log records re-applied.
+	Replayed int
+	// LastLSN is the highest LSN found in the log.
+	LastLSN uint64
+	// TornTail reports that a torn final record was found and truncated.
+	TornTail bool
+	// SnapshotLoad and Replay are the wall-clock durations of the two
+	// recovery phases.
+	SnapshotLoad time.Duration
+	Replay       time.Duration
+}
+
+// ErrDurableClosed is returned by operations on a closed Durable.
+var ErrDurableClosed = errors.New("bwtree: durable tree closed")
+
+// OpenDurable opens (creating or recovering) a durable tree rooted at
+// dir. If dir holds a previous incarnation's state, the tree is rebuilt:
+// the newest checkpoint snapshot is bulk-loaded, the log tail is
+// replayed (truncating a torn final record), and logging resumes at the
+// next LSN.
+func OpenDurable(dir string, o DurableOptions) (*Durable, error) {
+	if o.Tree.NonUnique {
+		// The logical redo log records one value per key; replay depends on
+		// unique-key semantics (insert-if-absent / update-if-present).
+		return nil, errors.New("bwtree: durable trees require unique-key mode")
+	}
+	d := &Durable{dir: dir, o: o, seed: maphash.MakeSeed()}
+
+	m, haveCP, err := wal.LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	d.t = core.New(o.Tree)
+	if haveCP {
+		d.rec.SnapshotLSN = m.LSN
+		t0 := time.Now()
+		if err := loadSnapshot(d.t, dir, m); err != nil {
+			d.t.Close()
+			return nil, err
+		}
+		d.rec.SnapshotKeys = m.Count
+		d.rec.SnapshotLoad = time.Since(t0)
+	}
+
+	t0 := time.Now()
+	var st wal.ReplayStats
+	if haveCP {
+		// Tail replay over snapshot state: apply records through sessions,
+		// partitioned by key so per-key order is kept.
+		st, err = replayParallel(d.t, dir, m.LSN, d.seed)
+	} else {
+		// No snapshot: the tree is empty, so the log alone determines the
+		// final state. Fold it into a map and BulkLoad — far cheaper than
+		// a million individual root-to-leaf inserts.
+		st, err = replayFold(d.t, dir)
+	}
+	if err != nil {
+		d.t.Close()
+		return nil, err
+	}
+	d.rec.Replayed = st.Records
+	d.rec.LastLSN = st.MaxLSN
+	d.rec.TornTail = st.Torn
+	d.rec.Replay = time.Since(t0)
+
+	next := st.MaxLSN + 1
+	if m.LSN+1 > next {
+		next = m.LSN + 1
+	}
+	d.w, err = wal.NewWriter(dir, o.WAL, next)
+	if err != nil {
+		d.t.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// replayFold recovers a log-only directory into an empty tree: each
+// key's final state is decided by folding its own record sequence with
+// the guarded unique-key semantics (insert-if-absent, update-if-present,
+// delete), then the surviving pairs are bulk-loaded in key order.
+func replayFold(t *Tree, dir string) (wal.ReplayStats, error) {
+	// Presize the fold map from the log's on-disk footprint (records are
+	// at least ~20 bytes framed) — incremental growth to hundreds of
+	// thousands of entries otherwise dominates recovery.
+	hint := int(wal.DirSize(dir) / 20)
+	if hint > 1<<26 {
+		hint = 1 << 26
+	}
+	state := make(map[string]uint64, hint)
+	st, err := wal.Replay(dir, 0, func(r wal.Record) error {
+		switch r.Op {
+		case wal.OpInsert:
+			if _, ok := state[string(r.Key)]; !ok {
+				state[string(r.Key)] = r.Value
+			}
+		case wal.OpUpdate:
+			if _, ok := state[string(r.Key)]; ok {
+				state[string(r.Key)] = r.Value
+			}
+		case wal.OpDelete:
+			delete(state, string(r.Key))
+		default:
+			return errors.New("bwtree: unknown op in log record")
+		}
+		return nil
+	})
+	if err != nil || len(state) == 0 {
+		return st, err
+	}
+	type kv struct {
+		k string
+		v uint64
+	}
+	pairs := make([]kv, 0, len(state))
+	for k, v := range state {
+		pairs = append(pairs, kv{k, v})
+	}
+	slices.SortFunc(pairs, func(a, b kv) int { return strings.Compare(a.k, b.k) })
+	i := 0
+	err = t.BulkLoad(func() ([]byte, uint64, bool) {
+		if i >= len(pairs) {
+			return nil, 0, false
+		}
+		p := pairs[i]
+		i++
+		return []byte(p.k), p.v, true
+	})
+	return st, err
+}
+
+// replayParallel re-applies the log tail after afterLSN, fanned out over
+// several applier goroutines. The log's total order only matters per key
+// — the tree's final state for a key is determined by that key's own
+// record sequence — so records are partitioned by key hash: one key, one
+// applier, original order. Cross-key interleaving is free parallelism.
+func replayParallel(t *Tree, dir string, afterLSN uint64, seed maphash.Seed) (wal.ReplayStats, error) {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > 8 {
+		nw = 8
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	// A chunk carries records for one applier: opcodes, cumulative key
+	// offsets into one arena (safe to slice only once the chunk is sealed,
+	// since append may reallocate the arena), and values.
+	type chunk struct {
+		ops   []byte
+		koff  []int
+		arena []byte
+		vals  []uint64
+	}
+	const chunkRecs = 1024
+	chans := make([]chan chunk, nw)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan chunk, 4)
+		wg.Add(1)
+		go func(ch chan chunk) {
+			defer wg.Done()
+			s := t.NewSession()
+			defer s.Release()
+			for c := range ch {
+				start := 0
+				for j, op := range c.ops {
+					key := c.arena[start:c.koff[j]]
+					start = c.koff[j]
+					switch op {
+					case wal.OpInsert:
+						s.Insert(key, c.vals[j])
+					case wal.OpUpdate:
+						s.Update(key, c.vals[j])
+					case wal.OpDelete:
+						s.Delete(key, c.vals[j])
+					}
+				}
+			}
+		}(chans[i])
+	}
+
+	pend := make([]chunk, nw)
+	flush := func(i int) {
+		if len(pend[i].ops) > 0 {
+			chans[i] <- pend[i]
+			pend[i] = chunk{}
+		}
+	}
+	st, err := wal.Replay(dir, afterLSN, func(r wal.Record) error {
+		switch r.Op {
+		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
+		default:
+			return errors.New("bwtree: unknown op in log record")
+		}
+		i := int(maphash.Bytes(seed, r.Key) % uint64(nw))
+		c := &pend[i]
+		c.ops = append(c.ops, r.Op)
+		c.arena = append(c.arena, r.Key...)
+		c.koff = append(c.koff, len(c.arena))
+		c.vals = append(c.vals, r.Value)
+		if len(c.ops) >= chunkRecs {
+			flush(i)
+		}
+		return nil
+	})
+	for i := range chans {
+		flush(i)
+		close(chans[i])
+	}
+	wg.Wait()
+	return st, err
+}
+
+// loadSnapshot bulk-loads a checkpoint snapshot into an empty tree.
+func loadSnapshot(t *Tree, dir string, m wal.Manifest) error {
+	type pair struct {
+		k []byte
+		v uint64
+	}
+	// BulkLoad pulls; ReadSnapshot pushes. Bridge with a small channel so
+	// neither side buffers the whole snapshot.
+	ch := make(chan pair, 1024)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- wal.ReadSnapshot(dir, m, func(k []byte, v uint64) error {
+			kk := make([]byte, len(k))
+			copy(kk, k)
+			ch <- pair{kk, v}
+			return nil
+		})
+		close(ch)
+	}()
+	loadErr := t.BulkLoad(func() ([]byte, uint64, bool) {
+		p, ok := <-ch
+		if !ok {
+			return nil, 0, false
+		}
+		return p.k, p.v, true
+	})
+	for range ch { // drain on BulkLoad error so the reader goroutine exits
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	return loadErr
+}
+
+// Tree returns the wrapped in-memory tree for reads, stats, and
+// validation. Mutating it directly bypasses the log; use sessions from
+// NewSession for writes.
+func (d *Durable) Tree() *Tree { return d.t }
+
+// RecoveryStats reports what OpenDurable did.
+func (d *Durable) RecoveryStats() RecoveryStats { return d.rec }
+
+// WALStats returns the log writer's counters and histograms (fsync
+// latency, group-commit batch sizes).
+func (d *Durable) WALStats() wal.Stats { return d.w.Stats() }
+
+// DurableLSN returns the highest fsynced LSN.
+func (d *Durable) DurableLSN() uint64 { return d.w.DurableLSN() }
+
+// Sync blocks until every operation logged so far is fsynced.
+func (d *Durable) Sync() error { return d.w.Sync() }
+
+// stripe returns the commit-ordering lock for key.
+func (d *Durable) stripe(key []byte) *sync.Mutex {
+	return &d.stripes[maphash.Bytes(d.seed, key)&0xff]
+}
+
+// DurableSession is a single goroutine's handle to a Durable tree: the
+// wrapped Session plus the logging protocol. Mutations return an error
+// only for durability failures (closed writer, simulated crash, disk
+// error); the bool carries the same semantics as the Tree operation. When
+// a mutation returns an error after Crash, its effect may or may not have
+// been applied in memory and may or may not be durable — the caller must
+// treat it as unresolved.
+type DurableSession struct {
+	d *Durable
+	s *Session
+}
+
+// NewSession registers a worker goroutine.
+func (d *Durable) NewSession() *DurableSession {
+	return &DurableSession{d: d, s: d.t.NewSession()}
+}
+
+// Release returns the session's resources.
+func (ds *DurableSession) Release() { ds.s.Release() }
+
+// Session exposes the wrapped tree session for read-only use (iterators).
+func (ds *DurableSession) Session() *Session { return ds.s }
+
+// commit runs the write-ahead protocol for one mutation: under the key's
+// stripe lock, append the record (assigning its LSN) and apply it to the
+// tree; then, outside the lock, wait for group commit if configured.
+func (ds *DurableSession) commit(op byte, key []byte, value uint64, apply func() bool) (bool, error) {
+	d := ds.d
+	st := d.stripe(key)
+	st.Lock()
+	lsn, err := d.w.Append(op, key, value)
+	if err != nil {
+		st.Unlock()
+		return false, err
+	}
+	ok := apply()
+	st.Unlock()
+	if d.o.SyncOnCommit {
+		if err := d.w.WaitDurable(lsn); err != nil {
+			return ok, err
+		}
+	}
+	return ok, nil
+}
+
+// Insert adds (key, value); see Session.Insert for the bool semantics.
+func (ds *DurableSession) Insert(key []byte, value uint64) (bool, error) {
+	return ds.commit(wal.OpInsert, key, value, func() bool { return ds.s.Insert(key, value) })
+}
+
+// Update replaces key's value; see Session.Update.
+func (ds *DurableSession) Update(key []byte, value uint64) (bool, error) {
+	return ds.commit(wal.OpUpdate, key, value, func() bool { return ds.s.Update(key, value) })
+}
+
+// Delete removes (key, value); see Session.Delete.
+func (ds *DurableSession) Delete(key []byte, value uint64) (bool, error) {
+	return ds.commit(wal.OpDelete, key, value, func() bool { return ds.s.Delete(key, value) })
+}
+
+// Lookup reads through to the tree (reads are never logged).
+func (ds *DurableSession) Lookup(key []byte, out []uint64) []uint64 {
+	return ds.s.Lookup(key, out)
+}
+
+// Scan reads through to the tree.
+func (ds *DurableSession) Scan(start []byte, n int, visit func(key []byte, value uint64) bool) int {
+	return ds.s.Scan(start, n, visit)
+}
+
+// conv returns the mutex-guarded session backing Durable's convenience
+// methods; d.mu must be held.
+func (d *Durable) conv() (*Session, error) {
+	if d.closed {
+		return nil, ErrDurableClosed
+	}
+	if d.convs == nil {
+		d.convs = d.t.NewSession()
+	}
+	return d.convs, nil
+}
+
+// Insert is a convenience single-caller form of DurableSession.Insert;
+// concurrent workloads should use per-goroutine sessions instead.
+func (d *Durable) Insert(key []byte, value uint64) (bool, error) {
+	return d.convCommit(wal.OpInsert, key, value, func(s *Session) bool { return s.Insert(key, value) })
+}
+
+// Update is the convenience form of DurableSession.Update.
+func (d *Durable) Update(key []byte, value uint64) (bool, error) {
+	return d.convCommit(wal.OpUpdate, key, value, func(s *Session) bool { return s.Update(key, value) })
+}
+
+// Delete is the convenience form of DurableSession.Delete.
+func (d *Durable) Delete(key []byte, value uint64) (bool, error) {
+	return d.convCommit(wal.OpDelete, key, value, func(s *Session) bool { return s.Delete(key, value) })
+}
+
+// Lookup is the convenience read.
+func (d *Durable) Lookup(key []byte, out []uint64) ([]uint64, error) {
+	d.mu.Lock()
+	s, err := d.conv()
+	if err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+	res := s.Lookup(key, out)
+	d.mu.Unlock()
+	return res, nil
+}
+
+func (d *Durable) convCommit(op byte, key []byte, value uint64, apply func(*Session) bool) (bool, error) {
+	d.mu.Lock()
+	s, err := d.conv()
+	if err != nil {
+		d.mu.Unlock()
+		return false, err
+	}
+	st := d.stripe(key)
+	st.Lock()
+	lsn, err := d.w.Append(op, key, value)
+	if err != nil {
+		st.Unlock()
+		d.mu.Unlock()
+		return false, err
+	}
+	ok := apply(s)
+	st.Unlock()
+	d.mu.Unlock()
+	if d.o.SyncOnCommit {
+		if err := d.w.WaitDurable(lsn); err != nil {
+			return ok, err
+		}
+	}
+	return ok, nil
+}
+
+// Checkpoint writes an epoch-consistent snapshot of the tree plus a
+// manifest, and prunes log segments the snapshot covers. It runs
+// concurrently with writers: the snapshot is fuzzy (each leaf is a
+// consistent cut, the whole file is not), which is safe because replay
+// from the returned LSN re-applies any operation the walk raced with and
+// the guarded operations converge. The log is forced durable through the
+// walk's end before the manifest is published.
+//
+// Returns the manifest LSN (the new replay start). Concurrent
+// Checkpoint calls serialize.
+func (d *Durable) Checkpoint() (uint64, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return 0, ErrDurableClosed
+	}
+	d.mu.Unlock()
+
+	cpLSN := d.w.AppendedLSN()
+	s := d.t.NewSession()
+	defer s.Release()
+	it := s.NewIterator()
+	it.SeekFirst()
+	m, err := wal.WriteCheckpoint(d.dir, cpLSN, func() ([]byte, uint64, bool) {
+		if !it.Valid() {
+			return nil, 0, false
+		}
+		k, v := it.Key(), it.Value()
+		it.Next()
+		return k, v, true
+	}, func() error {
+		// Force the log durable through the walk's end so every
+		// operation possibly reflected in the snapshot is also logged on
+		// disk before the manifest points at it.
+		return d.w.Sync()
+	})
+	if err != nil {
+		return 0, err
+	}
+	return m.LSN, nil
+}
+
+// Snapshot checkpoints a plain in-memory tree into dir so OpenDurable
+// can later restore it: a snapshot file plus manifest at LSN 0, with no
+// log. The tree must be quiescent for the snapshot to be a faithful
+// point-in-time copy (with concurrent writers it is merely
+// epoch-consistent, as with Durable.Checkpoint, but here there is no log
+// to converge from). Returns the number of pairs written.
+//
+// dir must not already hold a log or checkpoint: an LSN-0 snapshot next
+// to existing segments would make the next open replay old records on
+// top of this tree's state.
+func Snapshot(t *Tree, dir string) (uint64, error) {
+	if _, ok, err := wal.LoadManifest(dir); err != nil {
+		return 0, err
+	} else if ok || wal.DirSize(dir) > 0 {
+		return 0, errors.New("bwtree: Snapshot target directory already holds a durable store")
+	}
+	s := t.NewSession()
+	defer s.Release()
+	it := s.NewIterator()
+	it.SeekFirst()
+	m, err := wal.WriteCheckpoint(dir, 0, func() ([]byte, uint64, bool) {
+		if !it.Valid() {
+			return nil, 0, false
+		}
+		k, v := it.Key(), it.Value()
+		it.Next()
+		return k, v, true
+	}, nil)
+	if err != nil {
+		return 0, err
+	}
+	return m.Count, nil
+}
+
+// Close flushes and fsyncs the log, then shuts the tree down. It does
+// not checkpoint; call Checkpoint first to make the next open fast.
+func (d *Durable) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	if d.convs != nil {
+		d.convs.Release()
+		d.convs = nil
+	}
+	d.mu.Unlock()
+	err := d.w.Close()
+	d.t.Close()
+	return err
+}
+
+// Crash simulates a power failure for durability testing: all buffered,
+// un-fsynced log data is discarded (the active segment is truncated to
+// its last fsync) and every mutation from then on fails with
+// wal.ErrCrashed. The in-memory tree stays alive — concurrent sessions
+// may be mid-operation — but is no longer authoritative; call Close to
+// release it, then reopen the directory with OpenDurable to get the
+// surviving state.
+func (d *Durable) Crash() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+	return d.w.Crash()
+}

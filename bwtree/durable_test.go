@@ -1,0 +1,479 @@
+package bwtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+func dkey(i uint64) []byte { return []byte(fmt.Sprintf("key-%08d", i)) }
+
+// TestDurableBasicRoundTrip exercises the whole lifecycle on one
+// goroutine: write, checkpoint, write a tail, close, reopen, verify.
+func TestDurableBasicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if ok, err := d.Insert(dkey(i), i); err != nil || !ok {
+			t.Fatalf("Insert(%d) = %v, %v", i, ok, err)
+		}
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 50; i++ {
+		if ok, err := d.Update(dkey(i), i+1000); err != nil || !ok {
+			t.Fatalf("Update(%d) = %v, %v", i, ok, err)
+		}
+	}
+	for i := uint64(90); i < 100; i++ {
+		if ok, err := d.Delete(dkey(i), i); err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", i, ok, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.RecoveryStats()
+	if rec.SnapshotKeys != 100 {
+		t.Fatalf("recovery loaded %d snapshot keys, want 100", rec.SnapshotKeys)
+	}
+	if rec.Replayed != 60 {
+		t.Fatalf("recovery replayed %d records, want 60", rec.Replayed)
+	}
+	s := d2.NewSession()
+	defer s.Release()
+	var out []uint64
+	for i := uint64(0); i < 100; i++ {
+		out = s.Lookup(dkey(i), out[:0])
+		switch {
+		case i < 50:
+			if len(out) != 1 || out[0] != i+1000 {
+				t.Fatalf("key %d = %v, want [%d]", i, out, i+1000)
+			}
+		case i < 90:
+			if len(out) != 1 || out[0] != i {
+				t.Fatalf("key %d = %v, want [%d]", i, out, i)
+			}
+		default:
+			if len(out) != 0 {
+				t.Fatalf("key %d = %v, want deleted", i, out)
+			}
+		}
+	}
+	if err := d2.Tree().Validate(); err != nil {
+		t.Fatalf("Validate after recovery: %v", err)
+	}
+}
+
+// TestDurableRecoverFreshLog recovers from a log with no checkpoint.
+func TestDurableRecoverFreshLog(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 32; i++ {
+		if _, err := d.Insert(dkey(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if rec := d2.RecoveryStats(); rec.SnapshotKeys != 0 || rec.Replayed != 32 {
+		t.Fatalf("recovery stats = %+v", rec)
+	}
+	for i := uint64(0); i < 32; i++ {
+		out, err := d2.Lookup(dkey(i), nil)
+		if err != nil || len(out) != 1 || out[0] != i {
+			t.Fatalf("key %d = %v, %v", i, out, err)
+		}
+	}
+}
+
+// workerLog records, per worker, the mirror of acknowledged state plus at
+// most one unresolved operation (the one in flight when the crash hit).
+type workerLog struct {
+	mirror  map[uint64]uint64 // key index -> value; absent = deleted/never inserted
+	pending *pendingOp
+}
+
+type pendingOp struct {
+	op  byte
+	key uint64
+	val uint64
+}
+
+// TestDurableCrashRecoverMatrix is the acknowledged-write property test:
+// concurrent writers with SyncOnCommit, a crash at a random moment, then
+// recovery must show every acknowledged write and no impossible state.
+// The matrix covers sync mode x checkpointing x crash timing.
+func TestDurableCrashRecoverMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash matrix is slow")
+	}
+	for _, tc := range []struct {
+		name       string
+		sync       bool
+		checkpoint bool
+		crashAfter time.Duration
+	}{
+		{"sync-early-crash", true, false, 5 * time.Millisecond},
+		{"sync-late-crash", true, false, 60 * time.Millisecond},
+		{"sync-with-checkpoint", true, true, 60 * time.Millisecond},
+		{"async-with-checkpoint", false, true, 60 * time.Millisecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := OpenDurable(dir, DurableOptions{SyncOnCommit: tc.sync})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const workers = 4
+			logs := make([]*workerLog, workers)
+			var wg sync.WaitGroup
+			var stop atomic.Bool
+			for wi := 0; wi < workers; wi++ {
+				logs[wi] = &workerLog{mirror: make(map[uint64]uint64)}
+				wg.Add(1)
+				go func(wi int, lg *workerLog) {
+					defer wg.Done()
+					s := d.NewSession()
+					defer s.Release()
+					rng := rand.New(rand.NewSource(int64(wi) * 7919))
+					for i := 0; !stop.Load(); i++ {
+						// Each worker owns the congruence class k = wi mod workers.
+						k := uint64(wi) + uint64(rng.Intn(200))*workers
+						key := dkey(k)
+						old, exists := lg.mirror[k]
+						var op byte
+						var val uint64
+						switch {
+						case !exists:
+							op, val = wal.OpInsert, uint64(i)<<8|uint64(wi)
+						case rng.Intn(3) == 0:
+							op, val = wal.OpDelete, old
+						default:
+							op, val = wal.OpUpdate, uint64(i)<<8|uint64(wi)
+						}
+						var ok bool
+						var err error
+						switch op {
+						case wal.OpInsert:
+							ok, err = s.Insert(key, val)
+						case wal.OpUpdate:
+							ok, err = s.Update(key, val)
+						case wal.OpDelete:
+							ok, err = s.Delete(key, old)
+						}
+						if err != nil {
+							// Crashed mid-commit: the op may or may not have
+							// become durable. Record it as unresolved.
+							lg.pending = &pendingOp{op: op, key: k, val: val}
+							return
+						}
+						if !ok {
+							t.Errorf("worker %d: op %c on key %d unexpectedly returned false", wi, op, k)
+							return
+						}
+						if tc.sync {
+							// Acknowledged: must survive.
+							if op == wal.OpDelete {
+								delete(lg.mirror, k)
+							} else {
+								lg.mirror[k] = val
+							}
+						} else {
+							// Async acks are not crash-durable; track state
+							// only for pending-op bookkeeping. A crash may
+							// roll back an arbitrary suffix, so this mirror
+							// is not checked in async mode.
+							if op == wal.OpDelete {
+								delete(lg.mirror, k)
+							} else {
+								lg.mirror[k] = val
+							}
+						}
+					}
+				}(wi, logs[wi])
+			}
+
+			if tc.checkpoint {
+				// Race a checkpoint against the writers.
+				go func() {
+					time.Sleep(tc.crashAfter / 2)
+					d.Checkpoint() // error ignored: may race the crash
+				}()
+			}
+			time.Sleep(tc.crashAfter)
+			if err := d.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			stop.Store(true)
+			wg.Wait()
+			if err := d.Close(); err != nil {
+				t.Fatalf("Close after crash: %v", err)
+			}
+
+			d2, err := OpenDurable(dir, DurableOptions{})
+			if err != nil {
+				t.Fatalf("recovery: %v", err)
+			}
+			defer d2.Close()
+			if err := d2.Tree().Validate(); err != nil {
+				t.Fatalf("Validate after crash recovery: %v", err)
+			}
+			if !tc.sync {
+				return // no per-key guarantees to check in async mode
+			}
+			s := d2.NewSession()
+			defer s.Release()
+			var out []uint64
+			for wi, lg := range logs {
+				pendingKey := uint64(1 << 62) // sentinel: no pending key
+				if lg.pending != nil {
+					pendingKey = lg.pending.key
+				}
+				for k, v := range lg.mirror {
+					if k == pendingKey {
+						continue // checked below with both outcomes allowed
+					}
+					out = s.Lookup(dkey(k), out[:0])
+					if len(out) != 1 || out[0] != v {
+						t.Errorf("worker %d: acked key %d = %v, want [%d]", wi, k, out, v)
+					}
+				}
+				if lg.pending != nil {
+					// The unresolved op either applied or it did not; both
+					// states are legal, anything else is not.
+					p := lg.pending
+					out = s.Lookup(dkey(p.key), out[:0])
+					before, had := lg.mirror[p.key]
+					okBefore := (had && len(out) == 1 && out[0] == before) || (!had && len(out) == 0)
+					var okAfter bool
+					switch p.op {
+					case wal.OpDelete:
+						okAfter = len(out) == 0
+					default:
+						okAfter = len(out) == 1 && out[0] == p.val
+					}
+					if !okBefore && !okAfter {
+						t.Errorf("worker %d: pending key %d = %v, want pre-state (%v,%d) or post-state (%c,%d)",
+							wi, p.key, out, had, before, p.op, p.val)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDurableTornTail writes garbage after the last record and verifies
+// recovery truncates it and still sees every synced write.
+func TestDurableTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{SyncOnCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if _, err := d.Insert(dkey(i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendGarbageToLastSegment(dir, []byte{0x7, 0x3, 0x1, 0xff, 0xee, 0x55}); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	rec := d2.RecoveryStats()
+	if !rec.TornTail {
+		t.Fatal("torn tail not detected")
+	}
+	if rec.Replayed != 20 {
+		t.Fatalf("replayed %d, want 20", rec.Replayed)
+	}
+	for i := uint64(0); i < 20; i++ {
+		out, err := d2.Lookup(dkey(i), nil)
+		if err != nil || len(out) != 1 || out[0] != i {
+			t.Fatalf("key %d = %v, %v", i, out, err)
+		}
+	}
+	// And the truncation is sticky: a third open sees a clean log.
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if d3.RecoveryStats().TornTail {
+		t.Fatal("torn tail reported again after truncation")
+	}
+}
+
+// TestDurableCheckpointConcurrentWriters checkpoints while writers run
+// and verifies recovery converges to the writers' final state.
+func TestDurableCheckpointConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	finals := make([]map[uint64]uint64, workers)
+	for wi := 0; wi < workers; wi++ {
+		finals[wi] = make(map[uint64]uint64)
+		wg.Add(1)
+		go func(wi int, final map[uint64]uint64) {
+			defer wg.Done()
+			s := d.NewSession()
+			defer s.Release()
+			rng := rand.New(rand.NewSource(int64(wi)))
+			for i := 0; i < perWorker; i++ {
+				k := uint64(wi) + uint64(rng.Intn(500))*workers
+				key := dkey(k)
+				if old, ok := final[k]; ok {
+					if rng.Intn(4) == 0 {
+						if _, err := s.Delete(key, old); err != nil {
+							t.Error(err)
+							return
+						}
+						delete(final, k)
+					} else {
+						v := uint64(i+1) << 8
+						if _, err := s.Update(key, v); err != nil {
+							t.Error(err)
+							return
+						}
+						final[k] = v
+					}
+				} else {
+					v := uint64(i+1) << 8
+					if _, err := s.Insert(key, v); err != nil {
+						t.Error(err)
+						return
+					}
+					final[k] = v
+				}
+			}
+		}(wi, finals[wi])
+	}
+	// Several checkpoints racing the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3; i++ {
+			if _, err := d.Checkpoint(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if err := d2.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := d2.NewSession()
+	defer s.Release()
+	var out []uint64
+	total := 0
+	for wi, final := range finals {
+		for k, v := range final {
+			out = s.Lookup(dkey(k), out[:0])
+			if len(out) != 1 || out[0] != v {
+				t.Fatalf("worker %d key %d = %v, want [%d]", wi, k, out, v)
+			}
+			total++
+		}
+		// Deleted keys must stay deleted: sample the worker's class.
+		for k := uint64(wi); k < 500*workers; k += workers {
+			if _, ok := final[k]; ok {
+				continue
+			}
+			out = s.Lookup(dkey(k), out[:0])
+			if len(out) != 0 {
+				t.Fatalf("worker %d key %d = %v, want absent", wi, k, out)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no keys survived — workload bug")
+	}
+}
+
+// TestSnapshotRefusesDurableDir: writing an LSN-0 snapshot into a
+// directory that already holds a store would make the next open replay
+// the old log on top of the new tree — Snapshot must refuse.
+func TestSnapshotRefusesDurableDir(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Insert([]byte("k"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	if _, err := Snapshot(tr, dir); err == nil {
+		t.Fatal("Snapshot into a populated durable dir succeeded, want error")
+	}
+	// A fresh directory is fine.
+	if n, err := Snapshot(tr, t.TempDir()); err != nil || n != 0 {
+		t.Fatalf("Snapshot into fresh dir: n=%d err=%v", n, err)
+	}
+}
+
+// TestDurableRejectsNonUnique: the log records one value per key and
+// replay depends on unique-key guarded semantics.
+func TestDurableRejectsNonUnique(t *testing.T) {
+	o := DurableOptions{}
+	o.Tree.NonUnique = true
+	if _, err := OpenDurable(t.TempDir(), o); err == nil {
+		t.Fatal("OpenDurable with NonUnique succeeded, want error")
+	}
+}

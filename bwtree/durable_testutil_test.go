@@ -1,0 +1,35 @@
+package bwtree
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// appendGarbageToLastSegment simulates a torn write by appending junk
+// bytes to the newest log segment in dir.
+func appendGarbageToLastSegment(dir string, junk []byte) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		return errors.New("no segments to corrupt")
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(filepath.Join(dir, segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(junk)
+	return err
+}

@@ -6,14 +6,15 @@
 //
 // Workers run a random insert/delete/update/lookup/scan mix over a shared
 // key space while tracking, per worker, a disjoint slice of keys whose
-// state they own exclusively and can therefore verify exactly. Between
-// rounds the tree's structural invariants are checked. Any inconsistency
-// aborts with a non-zero exit.
+// state they own exclusively and can therefore verify exactly (the mirror
+// in mirror.go). After the workers stop, the whole tree is swept against
+// the union of the mirrors, so every mode ends with an exact
+// tree-vs-expectation comparison. Any inconsistency exits non-zero.
 //
 // With -batch N, inserts, deletes, and lookups are queued and flushed
 // through the amortized-epoch batch API (InsertBatch/DeleteBatch/
-// LookupBatch) in windows of N, with the same exact per-worker
-// verification; updates and scans keep interleaving single-op.
+// LookupBatch) in windows of N, with the same mirror verification;
+// updates and scans keep interleaving single-op.
 //
 // With -check, every operation is additionally recorded through the
 // history checker (internal/histcheck) and the merged history is verified
@@ -21,10 +22,19 @@
 // the per-worker mirrors cannot see. Recording is memory-bound, so -check
 // caps the run at -check-ops total operations instead of running for the
 // full -duration.
+//
+// With -wal DIR, the tree runs under the durability layer (bwtree.Durable,
+// SyncOnCommit) and the soak becomes a crash test: at a random moment the
+// log "loses power" (Durable.Crash), in-flight commits fail, the directory
+// is optionally damaged with a torn tail, and the tree is recovered with
+// OpenDurable. Every acknowledged operation must be present after
+// recovery; each worker's single in-flight operation may have either
+// happened or not, but nothing in between.
 package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -37,12 +47,12 @@ import (
 	"repro/bwtree"
 	"repro/internal/histcheck"
 	"repro/internal/index"
+	"repro/internal/wal"
 )
 
-// session is the operation surface workers drive; both *bwtree.Session
-// and the checker's recording session satisfy it, including the batch
-// entry points (the recording session forwards them to the tree's native
-// amortized-epoch batch path).
+// session is the raw operation surface in the in-memory modes; both
+// *bwtree.Session and the checker's recording session satisfy it,
+// including the batch entry points.
 type session interface {
 	Insert(key []byte, value uint64) bool
 	Delete(key []byte, value uint64) bool
@@ -54,6 +64,30 @@ type session interface {
 	LookupBatch(keys [][]byte, visit func(i int, vals []uint64))
 	Release()
 }
+
+// stressSession is the surface the worker loop drives: the in-memory
+// session adapted with nil errors, or a *bwtree.DurableSession whose
+// errors signal the simulated crash.
+type stressSession interface {
+	Insert(key []byte, value uint64) (bool, error)
+	Delete(key []byte, value uint64) (bool, error)
+	Update(key []byte, value uint64) (bool, error)
+	Lookup(key []byte, out []uint64) []uint64
+	Scan(start []byte, n int, visit func(key []byte, value uint64) bool) int
+	Release()
+}
+
+// plainSession adapts the in-memory session to stressSession.
+type plainSession struct{ s session }
+
+func (p plainSession) Insert(k []byte, v uint64) (bool, error) { return p.s.Insert(k, v), nil }
+func (p plainSession) Delete(k []byte, v uint64) (bool, error) { return p.s.Delete(k, v), nil }
+func (p plainSession) Update(k []byte, v uint64) (bool, error) { return p.s.Update(k, v), nil }
+func (p plainSession) Lookup(k []byte, out []uint64) []uint64  { return p.s.Lookup(k, out) }
+func (p plainSession) Scan(start []byte, n int, visit func([]byte, uint64) bool) int {
+	return p.s.Scan(start, n, visit)
+}
+func (p plainSession) Release() { p.s.Release() }
 
 func key64(v uint64) []byte {
 	b := make([]byte, 8)
@@ -70,7 +104,13 @@ func main() {
 	batch := flag.Int("batch", 0, "route inserts/deletes/lookups through the batch API in windows of this size (0 = single-op)")
 	check := flag.Bool("check", false, "record every op and verify the merged history for linearizability at exit")
 	checkOps := flag.Uint64("check-ops", 400_000, "total operation budget with -check (recorded histories must fit in memory)")
+	walDir := flag.String("wal", "", "run under the durability layer in this directory and crash/recover mid-soak")
+	seed := flag.Int64("seed", 0, "crash-timing seed for -wal (0 = derive from time)")
 	flag.Parse()
+
+	if *walDir != "" && (*batch > 1 || *check) {
+		log.Fatal("-wal cannot be combined with -batch or -check")
+	}
 
 	opts := bwtree.DefaultOptions()
 	opts.LeafNodeSize = *leafSize
@@ -83,18 +123,37 @@ func main() {
 		opts.LatencyHistograms = true
 		opts.TraceRingSize = 1024
 	}
-	idx := index.NewBwTreeWith("OpenBwTree", opts)
-	defer idx.Close()
-	t := idx.(index.BwBacked).Tree()
 
+	var t *bwtree.Tree
+	var d *bwtree.Durable
 	var checked *histcheck.Checked
-	newSession := func() session { return t.NewSession() }
-	if *check {
-		checked = histcheck.Wrap(idx, false)
-		// The recording session implements the batch surface natively; the
-		// assertion converts past the narrower index.Session return type.
-		newSession = func() session { return checked.NewSession().(session) }
-		log.Printf("history checking on: capped at %d ops", *checkOps)
+	var newSession func() stressSession
+
+	if *walDir != "" {
+		var err error
+		d, err = bwtree.OpenDurable(*walDir, bwtree.DurableOptions{Tree: opts, SyncOnCommit: true})
+		if err != nil {
+			log.Fatalf("open durable: %v", err)
+		}
+		t = d.Tree()
+		newSession = func() stressSession { return d.NewSession() }
+		rec := d.RecoveryStats()
+		log.Printf("durable tree open: %d snapshot keys, %d replayed, torn=%v", rec.SnapshotKeys, rec.Replayed, rec.TornTail)
+	} else {
+		idx := index.NewBwTreeWith("OpenBwTree", opts)
+		defer idx.Close()
+		t = idx.(index.BwBacked).Tree()
+		base := func() session { return t.NewSession() }
+		if *check {
+			checked = histcheck.Wrap(idx, false)
+			// The recording session implements the batch surface natively; the
+			// assertion converts past the narrower index.Session return type.
+			base = func() session { return checked.NewSession().(session) }
+			log.Printf("history checking on: capped at %d ops", *checkOps)
+		}
+		// Workers unwrap the adapter to reach the raw batch surface when
+		// -batch is set.
+		newSession = func() stressSession { return plainSession{base()} }
 	}
 
 	if *debugAddr != "" {
@@ -110,178 +169,122 @@ func main() {
 	var failed atomic.Bool
 	var ops atomic.Uint64
 	var wg sync.WaitGroup
+	fail := func(w int, err error) {
+		log.Printf("worker %d: %v", w, err)
+		failed.Store(true)
+	}
 
+	mirrors := make([]*mirror, *workers)
+	for w := 0; w < *workers; w++ {
+		mirrors[w] = newMirror(w)
+	}
+	if d != nil {
+		// A -wal directory may hold a previous run's data; seed each
+		// worker's mirror with the recovered keys of its congruence class
+		// so verification starts from the true state.
+		if n, err := preloadMirrors(t, mirrors); err != nil {
+			log.Fatalf("preload mirrors: %v", err)
+		} else if n > 0 {
+			log.Printf("mirrors preloaded with %d recovered keys", n)
+		}
+	}
 	for w := 0; w < *workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, m *mirror) {
 			defer wg.Done()
-			s := newSession()
-			defer s.Release()
-			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			ss := newSession()
+			defer ss.Release()
+			rng := rand.New(rand.NewSource(int64(w)*7919 + 1))
 			// Each worker owns keys ≡ w (mod workers) and mirrors their
-			// exact state; other keys are churned blindly.
-			owned := map[uint64]uint64{}
+			// exact state.
 			base := uint64(w)
 			nw := uint64(*workers)
 			var out []uint64
-			// Batch mode (-batch > 1): inserts, deletes, and lookups are
-			// queued per kind — at most one pending op per key, so the
-			// mirror's expectation for each entry is exact — and flushed
-			// through the batch API when the window fills.
-			type pendingOp struct {
-				k    uint64
-				v    uint64
-				kind byte // 'I', 'D', 'L'
+
+			// Batch mode: queue inserts/deletes/lookups — at most one pending
+			// op per key, so the mirror's expectation per entry is exact —
+			// and flush through the batch API when the window fills.
+			var bq *batchQueue
+			if *batch > 1 {
+				bq = newBatchQueue(ss.(plainSession).s, m, *batch)
 			}
-			var pend []pendingOp
-			inPend := map[uint64]bool{}
-			flushBatch := func() bool {
-				if len(pend) == 0 {
-					return true
-				}
-				var keys [][]byte
-				var vals []uint64
-				var sub []pendingOp
-				run := func(kind byte) bool {
-					keys, vals, sub = keys[:0], vals[:0], sub[:0]
-					for _, p := range pend {
-						if p.kind == kind {
-							keys = append(keys, key64(p.k))
-							vals = append(vals, p.v)
-							sub = append(sub, p)
-						}
-					}
-					if len(keys) == 0 {
-						return true
-					}
-					switch kind {
-					case 'I':
-						for i, ok := range s.InsertBatch(keys, vals, nil) {
-							_, had := owned[sub[i].k]
-							if ok == had {
-								log.Printf("worker %d: batch insert of key %d inconsistent (ok=%v had=%v)", w, sub[i].k, ok, had)
-								return false
-							}
-							if ok {
-								owned[sub[i].k] = sub[i].v
-							}
-						}
-					case 'D':
-						for i, ok := range s.DeleteBatch(keys, vals, nil) {
-							if _, had := owned[sub[i].k]; ok != had {
-								log.Printf("worker %d: batch delete of key %d inconsistent (ok=%v had=%v)", w, sub[i].k, ok, had)
-								return false
-							}
-							delete(owned, sub[i].k)
-						}
-					case 'L':
-						bad := false
-						s.LookupBatch(keys, func(i int, vs []uint64) {
-							want, had := owned[sub[i].k]
-							if had != (len(vs) == 1) || had && vs[0] != want {
-								log.Printf("worker %d: batch lookup %d got %v want %d,%v", w, sub[i].k, vs, want, had)
-								bad = true
-							}
-						})
-						if bad {
-							return false
-						}
-					}
-					return true
-				}
-				okAll := run('I') && run('D') && run('L')
-				pend = pend[:0]
-				clear(inPend)
-				return okAll
-			}
-			enqueue := func(k, v uint64, kind byte) bool {
-				if inPend[k] && !flushBatch() {
-					return false
-				}
-				pend = append(pend, pendingOp{k: k, v: v, kind: kind})
-				inPend[k] = true
-				if len(pend) >= *batch {
-					return flushBatch()
-				}
-				return true
-			}
+
 			for !stop.Load() {
 				n := ops.Add(1)
 				if *check && n > *checkOps {
-					return
+					break
 				}
 				k := base + uint64(rng.Intn(int(*keyspace)))*nw
 				switch rng.Intn(6) {
 				case 0:
 					v := rng.Uint64()
-					if *batch > 1 {
-						if !enqueue(k, v, 'I') {
-							failed.Store(true)
+					if bq != nil {
+						if err := bq.enqueue(k, v, 'I'); err != nil {
+							fail(w, err)
 							return
 						}
 						continue
 					}
-					if s.Insert(key64(k), v) {
-						if _, had := owned[k]; had {
-							log.Printf("worker %d: insert of present key %d succeeded", w, k)
-							failed.Store(true)
-							return
-						}
-						owned[k] = v
-					} else if _, had := owned[k]; !had {
-						log.Printf("worker %d: insert of absent key %d failed", w, k)
-						failed.Store(true)
+					ok, err := ss.Insert(key64(k), v)
+					if err != nil {
+						m.markPending('I', k, v)
+						reportCrash(w, err, &failed)
+						return
+					}
+					if cerr := m.applyInsert(k, v, ok); cerr != nil {
+						fail(w, cerr)
 						return
 					}
 				case 1:
-					if *batch > 1 {
-						if !enqueue(k, owned[k], 'D') {
-							failed.Store(true)
+					if bq != nil {
+						if err := bq.enqueue(k, m.valueOr(k, 0), 'D'); err != nil {
+							fail(w, err)
 							return
 						}
 						continue
 					}
-					_, had := owned[k]
-					if s.Delete(key64(k), 0) != had {
-						log.Printf("worker %d: delete of key %d inconsistent (had=%v)", w, k, had)
-						failed.Store(true)
+					ok, err := ss.Delete(key64(k), m.valueOr(k, 0))
+					if err != nil {
+						m.markPending('D', k, 0)
+						reportCrash(w, err, &failed)
 						return
 					}
-					delete(owned, k)
+					if cerr := m.applyDelete(k, ok); cerr != nil {
+						fail(w, cerr)
+						return
+					}
 				case 2:
 					v := rng.Uint64()
-					_, had := owned[k]
-					if s.Update(key64(k), v) != had {
-						log.Printf("worker %d: update of key %d inconsistent (had=%v)", w, k, had)
-						failed.Store(true)
+					ok, err := ss.Update(key64(k), v)
+					if err != nil {
+						m.markPending('U', k, v)
+						reportCrash(w, err, &failed)
 						return
 					}
-					if had {
-						owned[k] = v
+					if cerr := m.applyUpdate(k, v, ok); cerr != nil {
+						fail(w, cerr)
+						return
 					}
 				case 3, 4:
-					if *batch > 1 {
-						if !enqueue(k, 0, 'L') {
-							failed.Store(true)
+					if bq != nil {
+						if err := bq.enqueue(k, 0, 'L'); err != nil {
+							fail(w, err)
 							return
 						}
 						continue
 					}
-					want, had := owned[k]
-					out = s.Lookup(key64(k), out[:0])
-					if had != (len(out) == 1) || had && out[0] != want {
-						log.Printf("worker %d: lookup %d got %v want %d,%v", w, k, out, want, had)
-						failed.Store(true)
+					out = ss.Lookup(key64(k), out[:0])
+					if cerr := m.checkLookup(k, out); cerr != nil {
+						fail(w, cerr)
 						return
 					}
 				default:
 					var prev uint64
 					first := true
-					s.Scan(key64(k), 32, func(kk []byte, v uint64) bool {
+					ss.Scan(key64(k), 32, func(kk []byte, v uint64) bool {
 						cur := binary.BigEndian.Uint64(kk)
 						if !first && cur <= prev {
-							log.Printf("worker %d: scan order violation %d after %d", w, cur, prev)
-							failed.Store(true)
+							fail(w, fmt.Errorf("scan order violation %d after %d", cur, prev))
 							return false
 						}
 						prev, first = cur, false
@@ -292,7 +295,44 @@ func main() {
 					}
 				}
 			}
-		}(w)
+			// Drain the batch window so the mirror is exact for the final
+			// sweep (previously pending ops at loop end went unverified).
+			if bq != nil {
+				if err := bq.flush(); err != nil {
+					fail(w, err)
+				}
+			}
+		}(w, mirrors[w])
+	}
+
+	// In wal mode, schedule the power failure at a random point in the
+	// middle half of the run.
+	crashSeed := *seed
+	if crashSeed == 0 {
+		crashSeed = time.Now().UnixNano()
+	}
+	crashRng := rand.New(rand.NewSource(crashSeed))
+	if d != nil {
+		delay := *duration/4 + time.Duration(crashRng.Int63n(int64(*duration/2)))
+		log.Printf("crash scheduled at t=%v (seed %d)", delay.Round(time.Millisecond), crashSeed)
+		go func() {
+			time.Sleep(delay)
+			if err := d.Crash(); err != nil {
+				log.Printf("crash: %v", err)
+				failed.Store(true)
+			}
+			stop.Store(true)
+		}()
+		// Checkpoints race the workers and the crash; one may be cut off
+		// mid-walk, which must be harmless.
+		go func() {
+			for !stop.Load() {
+				time.Sleep(time.Second)
+				if lsn, err := d.Checkpoint(); err == nil {
+					log.Printf("checkpoint at LSN %d", lsn)
+				}
+			}
+		}()
 	}
 
 	done := make(chan struct{})
@@ -304,7 +344,7 @@ loop:
 	for time.Since(start) < *duration && !failed.Load() {
 		select {
 		case <-done:
-			// Workers exhausted the -check op budget before the deadline.
+			// Workers exhausted the -check op budget or the crash fired.
 			break loop
 		case <-ticker.C:
 			st := t.Stats()
@@ -321,8 +361,48 @@ loop:
 		fmt.Println("FAILED: inconsistency detected")
 		os.Exit(1)
 	}
+
+	if d != nil {
+		// Recover and verify against the recovered tree instead.
+		if err := d.Close(); err != nil {
+			fmt.Printf("FAILED: close after crash: %v\n", err)
+			os.Exit(1)
+		}
+		if crashRng.Intn(2) == 0 {
+			// Half the runs also damage the log the way a torn sector would.
+			junk := make([]byte, 1+crashRng.Intn(64))
+			crashRng.Read(junk)
+			if err := appendGarbageToLastSegment(*walDir, junk); err != nil {
+				log.Printf("torn-tail injection skipped: %v", err)
+			} else {
+				log.Printf("torn-tail injection: %d junk bytes appended", len(junk))
+			}
+		}
+		d2, err := bwtree.OpenDurable(*walDir, bwtree.DurableOptions{Tree: opts})
+		if err != nil {
+			fmt.Printf("FAILED: recovery: %v\n", err)
+			os.Exit(1)
+		}
+		defer d2.Close()
+		rec := d2.RecoveryStats()
+		log.Printf("recovered: %d snapshot keys, %d replayed (LSN %d), torn=%v, load=%v replay=%v",
+			rec.SnapshotKeys, rec.Replayed, rec.LastLSN, rec.TornTail, rec.SnapshotLoad.Round(time.Millisecond), rec.Replay.Round(time.Millisecond))
+		t = d2.Tree()
+	}
+
 	if err := t.Validate(); err != nil {
 		fmt.Printf("FAILED: final validation: %v\n", err)
+		os.Exit(1)
+	}
+	if errs := sweepVerify(t, mirrors); len(errs) > 0 {
+		for i, err := range errs {
+			if i == 20 {
+				fmt.Printf("  ... %d more\n", len(errs)-20)
+				break
+			}
+			fmt.Printf("  mismatch: %v\n", err)
+		}
+		fmt.Printf("FAILED: final sweep found %d mismatches\n", len(errs))
 		os.Exit(1)
 	}
 	if checked != nil {
@@ -349,4 +429,14 @@ loop:
 				class, m["count"], m["p50_us"], m["p99_us"], m["p999_us"])
 		}
 	}
+}
+
+// reportCrash distinguishes the expected simulated-crash error from a
+// real failure.
+func reportCrash(w int, err error, failed *atomic.Bool) {
+	if errors.Is(err, wal.ErrCrashed) || errors.Is(err, wal.ErrClosed) {
+		return // expected in wal mode: the in-flight op is now pending-unknown
+	}
+	log.Printf("worker %d: unexpected error: %v", w, err)
+	failed.Store(true)
 }

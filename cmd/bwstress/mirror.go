@@ -1,0 +1,310 @@
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/bwtree"
+)
+
+// mirror is one worker's exact expectation for the keys it owns (its
+// congruence class of the key space). Both the single-op and batch paths
+// report outcomes through the same apply/check methods, and the final
+// sweep compares the whole tree against the union of the mirrors.
+type mirror struct {
+	w     int
+	owned map[uint64]uint64
+	// pending is the single operation that was in flight when a simulated
+	// crash hit (wal mode): its effect is legitimately unknown. owned still
+	// holds the key's pre-state.
+	pending *pendingUnknown
+}
+
+type pendingUnknown struct {
+	op byte // 'I', 'U', 'D'
+	k  uint64
+	v  uint64 // post-value for I/U
+}
+
+func newMirror(w int) *mirror {
+	return &mirror{w: w, owned: make(map[uint64]uint64)}
+}
+
+// valueOr returns the mirrored value for k, or def when absent.
+func (m *mirror) valueOr(k, def uint64) uint64 {
+	if v, ok := m.owned[k]; ok {
+		return v
+	}
+	return def
+}
+
+// markPending records the one operation whose outcome a crash left
+// unresolved.
+func (m *mirror) markPending(op byte, k, v uint64) {
+	m.pending = &pendingUnknown{op: op, k: k, v: v}
+}
+
+// applyInsert folds an acknowledged insert outcome into the mirror.
+// Insert must succeed exactly when the key was absent.
+func (m *mirror) applyInsert(k, v uint64, ok bool) error {
+	_, had := m.owned[k]
+	if ok == had {
+		return fmt.Errorf("insert of key %d inconsistent (ok=%v had=%v)", k, ok, had)
+	}
+	if ok {
+		m.owned[k] = v
+	}
+	return nil
+}
+
+// applyDelete folds an acknowledged delete outcome into the mirror.
+func (m *mirror) applyDelete(k uint64, ok bool) error {
+	_, had := m.owned[k]
+	if ok != had {
+		return fmt.Errorf("delete of key %d inconsistent (ok=%v had=%v)", k, ok, had)
+	}
+	delete(m.owned, k)
+	return nil
+}
+
+// applyUpdate folds an acknowledged update outcome into the mirror.
+func (m *mirror) applyUpdate(k, v uint64, ok bool) error {
+	_, had := m.owned[k]
+	if ok != had {
+		return fmt.Errorf("update of key %d inconsistent (ok=%v had=%v)", k, ok, had)
+	}
+	if had {
+		m.owned[k] = v
+	}
+	return nil
+}
+
+// checkLookup verifies a lookup result against the mirror.
+func (m *mirror) checkLookup(k uint64, vals []uint64) error {
+	want, had := m.owned[k]
+	if had != (len(vals) == 1) || had && vals[0] != want {
+		return fmt.Errorf("lookup of key %d got %v want %d,%v", k, vals, want, had)
+	}
+	return nil
+}
+
+// preloadMirrors seeds the mirrors from an already-populated tree (a
+// recovered -wal directory), assigning each key to the worker owning its
+// congruence class. Returns the number of keys loaded.
+func preloadMirrors(t *bwtree.Tree, mirrors []*mirror) (int, error) {
+	nw := uint64(len(mirrors))
+	s := t.NewSession()
+	defer s.Release()
+	it := s.NewIterator()
+	n := 0
+	for it.SeekFirst(); it.Valid(); it.Next() {
+		if len(it.Key()) != 8 {
+			return n, fmt.Errorf("tree holds non-workload key %x", it.Key())
+		}
+		k := binary.BigEndian.Uint64(it.Key())
+		mirrors[k%nw].owned[k] = it.Value()
+		n++
+	}
+	return n, nil
+}
+
+// sweepVerify walks the whole tree and compares it against the union of
+// the worker mirrors: every mirrored key must hold its mirrored value,
+// nothing else may exist, and a crash-pending key may be in its pre- or
+// post-state but nothing else. Returns all mismatches.
+func sweepVerify(t *bwtree.Tree, mirrors []*mirror) []error {
+	expect := make(map[uint64]uint64)
+	pend := make(map[uint64]*pendingUnknown)
+	preHad := make(map[uint64]bool)
+	for _, m := range mirrors {
+		for k, v := range m.owned {
+			expect[k] = v
+		}
+		if p := m.pending; p != nil {
+			pend[p.k] = p
+			_, had := m.owned[p.k]
+			preHad[p.k] = had
+		}
+	}
+
+	var errs []error
+	seen := make(map[uint64]bool)
+	s := t.NewSession()
+	defer s.Release()
+	it := s.NewIterator()
+	for it.SeekFirst(); it.Valid(); it.Next() {
+		if len(it.Key()) != 8 {
+			errs = append(errs, fmt.Errorf("tree holds non-workload key %x", it.Key()))
+			continue
+		}
+		k := binary.BigEndian.Uint64(it.Key())
+		v := it.Value()
+		seen[k] = true
+		if p, ok := pend[k]; ok {
+			pre, had := expect[k], preHad[k]
+			okPre := had && v == pre
+			okPost := p.op != 'D' && v == p.v
+			if !okPre && !okPost {
+				errs = append(errs, fmt.Errorf("pending key %d = %d, want pre-state (%d,%v) or post-state (%c,%d)", k, v, pre, had, p.op, p.v))
+			}
+			continue
+		}
+		want, ok := expect[k]
+		if !ok {
+			errs = append(errs, fmt.Errorf("tree holds unexpected key %d = %d", k, v))
+			continue
+		}
+		if v != want {
+			errs = append(errs, fmt.Errorf("key %d = %d, want %d", k, v, want))
+		}
+	}
+	for k, want := range expect {
+		if seen[k] {
+			continue
+		}
+		if p, ok := pend[k]; ok {
+			// Absence is legal if the key was absent before the pending op
+			// or the pending op was a delete.
+			if !preHad[k] || p.op == 'D' {
+				continue
+			}
+			_ = p
+		}
+		errs = append(errs, fmt.Errorf("key %d missing, want %d", k, want))
+	}
+	// Pending keys absent from both expect and the tree: legal only if the
+	// pre-state was absent (pending insert that did not land).
+	for k, p := range pend {
+		if seen[k] {
+			continue
+		}
+		if _, inExpect := expect[k]; inExpect {
+			continue // handled above
+		}
+		if preHad[k] {
+			errs = append(errs, fmt.Errorf("pending key %d vanished (pre-state present, op %c)", k, p.op))
+		}
+	}
+	return errs
+}
+
+// batchQueue routes inserts, deletes, and lookups through the batch API
+// in fixed windows, verifying every outcome against the worker's mirror —
+// the same verifier the single-op path uses.
+type batchQueue struct {
+	s      session
+	m      *mirror
+	window int
+	pend   []pendingBatchOp
+	inPend map[uint64]bool
+	keys   [][]byte
+	vals   []uint64
+	sub    []pendingBatchOp
+}
+
+type pendingBatchOp struct {
+	k    uint64
+	v    uint64
+	kind byte // 'I', 'D', 'L'
+}
+
+func newBatchQueue(s session, m *mirror, window int) *batchQueue {
+	return &batchQueue{s: s, m: m, window: window, inPend: make(map[uint64]bool)}
+}
+
+// enqueue adds one op, flushing first if the key already has a pending op
+// (so the mirror's expectation per entry stays exact) and after if the
+// window filled.
+func (q *batchQueue) enqueue(k, v uint64, kind byte) error {
+	if q.inPend[k] {
+		if err := q.flush(); err != nil {
+			return err
+		}
+	}
+	q.pend = append(q.pend, pendingBatchOp{k: k, v: v, kind: kind})
+	q.inPend[k] = true
+	if len(q.pend) >= q.window {
+		return q.flush()
+	}
+	return nil
+}
+
+// flush runs the queued window through the batch API, one kind at a time,
+// and folds every outcome into the mirror.
+func (q *batchQueue) flush() error {
+	if len(q.pend) == 0 {
+		return nil
+	}
+	defer func() {
+		q.pend = q.pend[:0]
+		clear(q.inPend)
+	}()
+	for _, kind := range [3]byte{'I', 'D', 'L'} {
+		q.keys, q.vals, q.sub = q.keys[:0], q.vals[:0], q.sub[:0]
+		for _, p := range q.pend {
+			if p.kind == kind {
+				q.keys = append(q.keys, key64(p.k))
+				q.vals = append(q.vals, p.v)
+				q.sub = append(q.sub, p)
+			}
+		}
+		if len(q.keys) == 0 {
+			continue
+		}
+		switch kind {
+		case 'I':
+			for i, ok := range q.s.InsertBatch(q.keys, q.vals, nil) {
+				if err := q.m.applyInsert(q.sub[i].k, q.sub[i].v, ok); err != nil {
+					return fmt.Errorf("batch %w", err)
+				}
+			}
+		case 'D':
+			for i, ok := range q.s.DeleteBatch(q.keys, q.vals, nil) {
+				if err := q.m.applyDelete(q.sub[i].k, ok); err != nil {
+					return fmt.Errorf("batch %w", err)
+				}
+			}
+		case 'L':
+			var lerr error
+			q.s.LookupBatch(q.keys, func(i int, vs []uint64) {
+				if err := q.m.checkLookup(q.sub[i].k, vs); err != nil && lerr == nil {
+					lerr = fmt.Errorf("batch %w", err)
+				}
+			})
+			if lerr != nil {
+				return lerr
+			}
+		}
+	}
+	return nil
+}
+
+// appendGarbageToLastSegment simulates a torn sector by appending junk to
+// the newest log segment.
+func appendGarbageToLastSegment(dir string, junk []byte) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			segs = append(segs, e.Name())
+		}
+	}
+	if len(segs) == 0 {
+		return fmt.Errorf("no segments in %s", dir)
+	}
+	sort.Strings(segs)
+	f, err := os.OpenFile(filepath.Join(dir, segs[len(segs)-1]), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(junk)
+	return err
+}

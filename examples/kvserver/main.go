@@ -8,6 +8,11 @@
 //	go run ./examples/kvserver -addr :7070 &
 //	printf 'SET k 42\r\nGET k\r\nSCAN a 10\r\n' | nc localhost 7070
 //
+// With -wal DIR the store is durable: every mutation is write-ahead
+// logged (group commit, synchronous acknowledgement) and the directory is
+// recovered on startup, so a restart — or SIGINT, which shuts down
+// gracefully with a final checkpoint — loses nothing.
+//
 // Protocol (line-oriented):
 //
 //	SET <key> <uint64>     -> OK | ERR duplicate
@@ -21,20 +26,178 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"repro/bwtree"
 )
+
+// kvSession is the per-connection operation surface. Mutations return an
+// error only when the store is going away (durable writer closed); the
+// bool carries the tree-operation outcome. Both the plain adapter and
+// *bwtree.DurableSession satisfy it.
+type kvSession interface {
+	Insert(key []byte, value uint64) (bool, error)
+	Update(key []byte, value uint64) (bool, error)
+	Delete(key []byte, value uint64) (bool, error)
+	Lookup(key []byte, out []uint64) []uint64
+	Scan(start []byte, n int, visit func(key []byte, value uint64) bool) int
+	Release()
+}
+
+// plainSession adapts an in-memory tree session to kvSession.
+type plainSession struct{ s *bwtree.Session }
+
+func (p plainSession) Insert(k []byte, v uint64) (bool, error) { return p.s.Insert(k, v), nil }
+func (p plainSession) Update(k []byte, v uint64) (bool, error) { return p.s.Update(k, v), nil }
+func (p plainSession) Delete(k []byte, v uint64) (bool, error) { return p.s.Delete(k, v), nil }
+func (p plainSession) Lookup(k []byte, out []uint64) []uint64  { return p.s.Lookup(k, out) }
+func (p plainSession) Scan(start []byte, n int, visit func([]byte, uint64) bool) int {
+	return p.s.Scan(start, n, visit)
+}
+func (p plainSession) Release() { p.s.Release() }
+
+// server owns the listener, the tree (durable or plain), and the set of
+// live connections, so Shutdown can stop accepting, drain, and persist.
+type server struct {
+	t  *bwtree.Tree
+	d  *bwtree.Durable // nil without -wal
+	ln net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	wg       sync.WaitGroup // one per live connection
+	accept   sync.WaitGroup // the accept loop
+}
+
+// newServer opens the store (recovering dir when walDir is set) and
+// starts listening; call serveLoop to begin accepting.
+func newServer(addr, walDir string, opts bwtree.Options) (*server, error) {
+	sv := &server{conns: make(map[net.Conn]struct{})}
+	if walDir != "" {
+		d, err := bwtree.OpenDurable(walDir, bwtree.DurableOptions{Tree: opts, SyncOnCommit: true})
+		if err != nil {
+			return nil, err
+		}
+		sv.d = d
+		sv.t = d.Tree()
+		rec := d.RecoveryStats()
+		if rec.SnapshotKeys > 0 || rec.Replayed > 0 {
+			log.Printf("recovered %d snapshot keys + %d log records (torn=%v)", rec.SnapshotKeys, rec.Replayed, rec.TornTail)
+		}
+	} else {
+		sv.t = bwtree.New(opts)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		sv.closeStore(false)
+		return nil, err
+	}
+	sv.ln = ln
+	return sv, nil
+}
+
+// newSession hands out the per-connection operation surface.
+func (sv *server) newSession() kvSession {
+	if sv.d != nil {
+		return sv.d.NewSession()
+	}
+	return plainSession{sv.t.NewSession()}
+}
+
+// serveLoop accepts connections until the listener closes.
+func (sv *server) serveLoop() {
+	sv.accept.Add(1)
+	defer sv.accept.Done()
+	for {
+		conn, err := sv.ln.Accept()
+		if err != nil {
+			return
+		}
+		sv.mu.Lock()
+		if sv.draining.Load() {
+			sv.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		sv.conns[conn] = struct{}{}
+		sv.mu.Unlock()
+		sv.wg.Add(1)
+		go func() {
+			defer sv.wg.Done()
+			sv.serve(conn)
+			sv.mu.Lock()
+			delete(sv.conns, conn)
+			sv.mu.Unlock()
+		}()
+	}
+}
+
+// Shutdown stops accepting, waits up to timeout for live connections to
+// finish (then force-closes the stragglers), takes a final checkpoint
+// when the store is durable, and closes the store.
+func (sv *server) Shutdown(timeout time.Duration) error {
+	sv.draining.Store(true)
+	sv.ln.Close()
+	sv.accept.Wait()
+
+	drained := make(chan struct{})
+	go func() { sv.wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(timeout):
+		sv.mu.Lock()
+		n := len(sv.conns)
+		for conn := range sv.conns {
+			conn.Close()
+		}
+		sv.mu.Unlock()
+		if n > 0 {
+			log.Printf("shutdown: force-closed %d idle connections", n)
+		}
+		<-drained
+	}
+	return sv.closeStore(true)
+}
+
+// closeStore persists (checkpoint when durable and asked to) and closes
+// the tree.
+func (sv *server) closeStore(checkpoint bool) error {
+	if sv.d == nil {
+		sv.t.Close()
+		return nil
+	}
+	var err error
+	if checkpoint {
+		if _, cerr := sv.d.Checkpoint(); cerr != nil {
+			err = fmt.Errorf("final checkpoint: %w", cerr)
+		} else {
+			log.Printf("final checkpoint written")
+		}
+	}
+	if cerr := sv.d.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	demo := flag.Bool("demo", false, "run a self-contained demo round and exit")
 	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address")
+	walDir := flag.String("wal", "", "write-ahead log directory (enables durability and recovery)")
 	flag.Parse()
 
 	opts := bwtree.DefaultOptions()
@@ -42,11 +205,13 @@ func main() {
 		opts.LatencyHistograms = true
 		opts.TraceRingSize = 512
 	}
-	t := bwtree.New(opts)
-	defer t.Close()
+	sv, err := newServer(*addr, *walDir, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *debugAddr != "" {
-		srv, err := bwtree.ServeDebug(t, *debugAddr)
+		srv, err := bwtree.ServeDebug(sv.t, *debugAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,30 +219,37 @@ func main() {
 		log.Printf("debug endpoints at http://%s/debug/vars", srv.Addr())
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ln.Close()
-	log.Printf("kvserver listening on %s", ln.Addr())
+	log.Printf("kvserver listening on %s", sv.ln.Addr())
+
+	// SIGINT/SIGTERM: graceful shutdown — stop accepting, drain, final
+	// checkpoint when durable.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sigc
+		log.Printf("shutting down")
+		if err := sv.Shutdown(5 * time.Second); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
 
 	if *demo {
-		go runDemo(ln.Addr().String())
+		go func() {
+			runDemo(sv.ln.Addr().String())
+			sigc <- os.Interrupt // demo mode: one round, then shut down
+		}()
 	}
 
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return
-		}
-		go serve(t, conn, *demo, ln)
-	}
+	sv.serveLoop()
+	<-done
 }
 
-// serve handles one connection with its own tree session.
-func serve(t *bwtree.Tree, conn net.Conn, demo bool, ln net.Listener) {
+// serve handles one connection with its own session.
+func (sv *server) serve(conn net.Conn) {
 	defer conn.Close()
-	s := t.NewSession()
+	s := sv.newSession()
 	defer s.Release()
 
 	r := bufio.NewScanner(conn)
@@ -98,7 +270,11 @@ func serve(t *bwtree.Tree, conn net.Conn, demo bool, ln net.Listener) {
 				fmt.Fprintf(w, "ERR %v\r\n", err)
 				break
 			}
-			if s.Insert([]byte(fields[1]), v) {
+			ok, err := s.Insert([]byte(fields[1]), v)
+			if storeGone(w, err) {
+				return
+			}
+			if ok {
 				fmt.Fprint(w, "OK\r\n")
 			} else {
 				fmt.Fprint(w, "ERR duplicate\r\n")
@@ -121,7 +297,11 @@ func serve(t *bwtree.Tree, conn net.Conn, demo bool, ln net.Listener) {
 				fmt.Fprintf(w, "ERR %v\r\n", err)
 				break
 			}
-			if s.Update([]byte(fields[1]), v) {
+			ok, err := s.Update([]byte(fields[1]), v)
+			if storeGone(w, err) {
+				return
+			}
+			if ok {
 				fmt.Fprint(w, "OK\r\n")
 			} else {
 				fmt.Fprint(w, "NIL\r\n")
@@ -130,7 +310,11 @@ func serve(t *bwtree.Tree, conn net.Conn, demo bool, ln net.Listener) {
 			if bad(w, len(fields) != 2) {
 				break
 			}
-			if s.Delete([]byte(fields[1]), 0) {
+			ok, err := s.Delete([]byte(fields[1]), 0)
+			if storeGone(w, err) {
+				return
+			}
+			if ok {
 				fmt.Fprint(w, "OK\r\n")
 			} else {
 				fmt.Fprint(w, "NIL\r\n")
@@ -150,14 +334,10 @@ func serve(t *bwtree.Tree, conn net.Conn, demo bool, ln net.Listener) {
 			})
 			fmt.Fprint(w, "END\r\n")
 		case "STATS":
-			st := t.Stats()
+			st := sv.t.Stats()
 			fmt.Fprintf(w, "STATS ops=%d aborts=%d splits=%d\r\n", st.Ops, st.Aborts, st.Splits)
 		case "QUIT":
 			fmt.Fprint(w, "BYE\r\n")
-			w.Flush()
-			if demo {
-				ln.Close() // demo mode: one round, then shut down
-			}
 			return
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\r\n", fields[0])
@@ -171,6 +351,19 @@ func bad(w *bufio.Writer, cond bool) bool {
 		fmt.Fprint(w, "ERR arity\r\n")
 	}
 	return cond
+}
+
+// storeGone reports a durability-layer error to the client and signals
+// the connection to hang up (the store is shutting down).
+func storeGone(w *bufio.Writer, err error) bool {
+	if err == nil {
+		return false
+	}
+	if !errors.Is(err, net.ErrClosed) {
+		fmt.Fprint(w, "ERR store shutting down\r\n")
+		w.Flush()
+	}
+	return true
 }
 
 // runDemo exercises the server once over a real socket.

@@ -57,6 +57,7 @@ func Experiments() []Experiment {
 		{"latency", "Operation latency percentiles, Bw-Tree vs OpenBw-Tree", Latency},
 		{"checked", "History-checked correctness sweep: all indexes, three mixes, both GC schemes", Checked},
 		{"bench-gate", "Benchmark-regression gate: batched vs unbatched hot path, JSON report + baseline check", BenchGate},
+		{"durability", "WAL cost, group-commit shape, and recovery rates, JSON report + gates", Durability},
 	}
 }
 

@@ -88,6 +88,10 @@ func TestExperimentsSmoke(t *testing.T) {
 			// the driver completes.
 			t.Setenv("BENCH_GATE_OUT", filepath.Join(t.TempDir(), "BENCH_hotpath.json"))
 			t.Setenv("BENCH_GATE_MIN_SPEEDUP", "0")
+			// Same deal for durability: scratch report, no rate floors.
+			t.Setenv("DURABILITY_GATE_OUT", filepath.Join(t.TempDir(), "BENCH_durability.json"))
+			t.Setenv("DURABILITY_GATE_MIN_RATIO", "0")
+			t.Setenv("DURABILITY_GATE_MIN_REPLAY", "0")
 			var b strings.Builder
 			e.Run(&b, sc)
 			if !strings.Contains(b.String(), "===") {
