@@ -55,9 +55,19 @@ type Durable struct {
 	stripes [256]sync.Mutex
 	seed    maphash.Seed
 
-	mu     sync.Mutex // guards checkpoint/close lifecycle and the convenience session
+	mu     sync.Mutex // guards the closed flag and the convenience session
 	closed bool
 	convs  *Session // lazy session backing the convenience methods
+
+	// cpMu serializes whole checkpoints: overlapping WriteCheckpoint
+	// calls would each publish a manifest and then prune every snapshot
+	// but their own, so the one finishing second could delete the file
+	// the surviving manifest points at.
+	cpMu sync.Mutex
+	// life fences Close against in-flight checkpoints: Checkpoint holds
+	// the read side across its tree walk and log sync, Close takes the
+	// write side before releasing the writer and the tree.
+	life sync.RWMutex
 }
 
 // RecoveryStats describes what OpenDurable had to do to rebuild state.
@@ -483,8 +493,13 @@ func (d *Durable) convCommit(op byte, key []byte, value uint64, apply func(*Sess
 // walk's end before the manifest is published.
 //
 // Returns the manifest LSN (the new replay start). Concurrent
-// Checkpoint calls serialize.
+// Checkpoint calls serialize, and Close waits for an in-flight
+// checkpoint before tearing the writer and tree down.
 func (d *Durable) Checkpoint() (uint64, error) {
+	d.cpMu.Lock()
+	defer d.cpMu.Unlock()
+	d.life.RLock()
+	defer d.life.RUnlock()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
@@ -493,6 +508,18 @@ func (d *Durable) Checkpoint() (uint64, error) {
 	d.mu.Unlock()
 
 	cpLSN := d.w.AppendedLSN()
+	// commit holds the key's stripe lock from Append (LSN assignment)
+	// through the tree apply, so an operation with LSN <= cpLSN that is
+	// not yet visible in the tree still owns its stripe. Sweeping every
+	// stripe is therefore a barrier: once each lock has been taken and
+	// released, the tree reflects every operation at or below cpLSN.
+	// Without it the walk could miss an acknowledged op whose LSN the
+	// manifest claims to cover — and replay starts strictly after the
+	// manifest LSN, so the op would be lost.
+	for i := range d.stripes {
+		d.stripes[i].Lock()
+		d.stripes[i].Unlock() // empty critical section is the barrier
+	}
 	s := d.t.NewSession()
 	defer s.Release()
 	it := s.NewIterator()
@@ -564,6 +591,11 @@ func (d *Durable) Close() error {
 		d.convs = nil
 	}
 	d.mu.Unlock()
+	// Wait for any in-flight Checkpoint (it holds the lifecycle
+	// read-lock across its walk) before releasing the writer and tree;
+	// checkpoints arriving after this see closed and return early.
+	d.life.Lock()
+	defer d.life.Unlock()
 	err := d.w.Close()
 	d.t.Close()
 	return err
@@ -577,6 +609,8 @@ func (d *Durable) Close() error {
 // release it, then reopen the directory with OpenDurable to get the
 // surviving state.
 func (d *Durable) Crash() error {
+	d.life.RLock()
+	defer d.life.RUnlock()
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()

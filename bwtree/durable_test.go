@@ -1,6 +1,7 @@
 package bwtree
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -475,5 +476,174 @@ func TestDurableRejectsNonUnique(t *testing.T) {
 	o.Tree.NonUnique = true
 	if _, err := OpenDurable(t.TempDir(), o); err == nil {
 		t.Fatal("OpenDurable with NonUnique succeeded, want error")
+	}
+}
+
+// TestDurableCheckpointStripeBarrier reconstructs the lost-write race
+// the stripe sweep in Checkpoint exists to close: a committer that has
+// appended its record (so its LSN is <= the checkpoint's cpLSN) but has
+// not yet applied it to the tree still holds its stripe lock. The
+// checkpoint must wait for that stripe before walking — otherwise the
+// snapshot misses the op, and replay (which starts strictly after the
+// manifest LSN) skips it too, silently dropping an acknowledged write.
+func TestDurableCheckpointStripeBarrier(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		if _, err := d.Insert(dkey(i), i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Emulate DurableSession.commit descheduled between Append and
+	// apply: take the stripe, append, and park.
+	key := dkey(1000)
+	st := d.stripe(key)
+	st.Lock()
+	if _, err := d.w.Append(wal.OpInsert, key, 42); err != nil {
+		st.Unlock()
+		t.Fatal(err)
+	}
+
+	type cpResult struct {
+		lsn uint64
+		err error
+	}
+	cpc := make(chan cpResult, 1)
+	go func() {
+		lsn, err := d.Checkpoint()
+		cpc <- cpResult{lsn, err}
+	}()
+
+	// The checkpoint reads cpLSN (>= our record's LSN) and must then
+	// block in the stripe sweep. Give it time to get there, then finish
+	// the commit the way the committer would have.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case r := <-cpc:
+		t.Fatalf("Checkpoint finished while a committer held its stripe: lsn=%d err=%v", r.lsn, r.err)
+	default:
+	}
+	s := d.t.NewSession()
+	s.Insert(key, 42)
+	s.Release()
+	st.Unlock()
+
+	if r := <-cpc; r.err != nil {
+		t.Fatal(r.err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	out, err := d2.Lookup(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != 42 {
+		t.Fatalf("acknowledged write lost across checkpoint+reopen: got %v, want [42]", out)
+	}
+}
+
+// TestDurableConcurrentCheckpoints: overlapping Checkpoint calls must
+// serialize. Without cpMu, two interleaved WriteCheckpoint calls can
+// each publish a manifest and then prune the other's snapshot, leaving
+// the surviving manifest pointing at a deleted file — the next
+// OpenDurable fails.
+func TestDurableConcurrentCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		s := d.NewSession()
+		defer s.Release()
+		for i := uint64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := s.Insert(dkey(i%5000), i); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var cwg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for i := 0; i < 3; i++ {
+				if _, err := d.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	cwg.Wait()
+	close(stop)
+	wwg.Wait()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDurable(dir, DurableOptions{})
+	if err != nil {
+		t.Fatalf("reopen after concurrent checkpoints: %v", err)
+	}
+	defer d2.Close()
+	if err := d2.Tree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCheckpointCloseRace: Close must wait for an in-flight
+// Checkpoint instead of releasing the tree and writer underneath its
+// walk. Run under -race this catches the use-after-close.
+func TestDurableCheckpointCloseRace(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		dir := t.TempDir()
+		d, err := OpenDurable(dir, DurableOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 2000; i++ {
+			if _, err := d.Insert(dkey(i), i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, err := d.Checkpoint(); err != nil {
+					if !errors.Is(err, ErrDurableClosed) && !errors.Is(err, wal.ErrClosed) {
+						t.Errorf("checkpoint racing close: %v", err)
+					}
+					return
+				}
+			}
+		}()
+		time.Sleep(time.Duration(iter) * 100 * time.Microsecond)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
 	}
 }

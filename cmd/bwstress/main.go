@@ -312,6 +312,7 @@ func main() {
 		crashSeed = time.Now().UnixNano()
 	}
 	crashRng := rand.New(rand.NewSource(crashSeed))
+	var cpDone chan struct{}
 	if d != nil {
 		delay := *duration/4 + time.Duration(crashRng.Int63n(int64(*duration/2)))
 		log.Printf("crash scheduled at t=%v (seed %d)", delay.Round(time.Millisecond), crashSeed)
@@ -324,10 +325,18 @@ func main() {
 			stop.Store(true)
 		}()
 		// Checkpoints race the workers and the crash; one may be cut off
-		// mid-walk, which must be harmless.
+		// mid-walk, which must be harmless. The goroutine is joined via
+		// cpDone before d.Close() so no checkpoint is in flight when the
+		// tree is torn down.
+		cpDone = make(chan struct{})
 		go func() {
-			for !stop.Load() {
-				time.Sleep(time.Second)
+			defer close(cpDone)
+			tick := time.NewTicker(time.Second)
+			defer tick.Stop()
+			for range tick.C {
+				if stop.Load() {
+					return
+				}
 				if lsn, err := d.Checkpoint(); err == nil {
 					log.Printf("checkpoint at LSN %d", lsn)
 				}
@@ -363,6 +372,7 @@ loop:
 	}
 
 	if d != nil {
+		<-cpDone // join the checkpoint goroutine before teardown
 		// Recover and verify against the recovered tree instead.
 		if err := d.Close(); err != nil {
 			fmt.Printf("FAILED: close after crash: %v\n", err)
