@@ -50,6 +50,28 @@ func DebugVars(t *Tree) obs.Vars {
 			}
 		},
 	}
+	// Served on demand at /debug/shape only: the walk visits every node,
+	// which is far too expensive for the periodic sampler.
+	v.Shape = func() map[string]any {
+		st := t.StructureStats()
+		return map[string]any{
+			"height":               st.Height,
+			"inner_nodes":          st.InnerNodes,
+			"leaf_nodes":           st.LeafNodes,
+			"avg_inner_chain_len":  st.AvgInnerChainLen,
+			"avg_leaf_chain_len":   st.AvgLeafChainLen,
+			"avg_inner_node_size":  st.AvgInnerNodeSize,
+			"avg_leaf_node_size":   st.AvgLeafNodeSize,
+			"inner_prealloc_util":  st.InnerPreallocUse,
+			"leaf_prealloc_util":   st.LeafPreallocUse,
+			"flat_bases":           st.FlatBases,
+			"arena_bytes":          st.ArenaBytes,
+			"key_bytes":            st.KeyBytes,
+			"gc_ptrs_per_leaf":     st.GCPtrsPerLeaf,
+			"gc_ptrs_per_inner":    st.GCPtrsPerInner,
+			"leaf_bytes_per_entry": st.LeafBytesPerEntry,
+		}
+	}
 	if t.Options().LatencyHistograms {
 		v.Latency = t.Latencies
 	}
@@ -63,8 +85,8 @@ func DebugVars(t *Tree) obs.Vars {
 // ServeDebug starts an HTTP debug server for t on addr (host:port; port
 // 0 picks a free one): expvar under /debug/vars (including a "bwtree"
 // composite with per-second op rates), pprof under /debug/pprof/, and
-// JSON endpoints /debug/stats, /debug/latency, /debug/trace. Close the
-// returned server when done.
+// JSON endpoints /debug/stats, /debug/latency, /debug/shape, and
+// /debug/trace. Close the returned server when done.
 func ServeDebug(t *Tree, addr string) (*DebugServer, error) {
 	return obs.Serve(addr, DebugVars(t), time.Second)
 }

@@ -238,6 +238,12 @@ func printShape(t *bwtree.Tree) {
 		{"avg_leaf_node_size", st.AvgLeafNodeSize},
 		{"inner_prealloc_util", st.InnerPreallocUse},
 		{"leaf_prealloc_util", st.LeafPreallocUse},
+		{"flat_bases", st.FlatBases},
+		{"arena_bytes", st.ArenaBytes},
+		{"key_bytes", st.KeyBytes},
+		{"gc_ptrs_per_leaf", st.GCPtrsPerLeaf},
+		{"gc_ptrs_per_inner", st.GCPtrsPerInner},
+		{"leaf_bytes_per_entry", st.LeafBytesPerEntry},
 	})
 }
 

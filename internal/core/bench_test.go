@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// Micro-benchmarks for the shared window-search helper (flatnode.go).
+// BenchmarkBaseSearch/slice-* vs BenchmarkBaseSearch/handrolled-* proves
+// deduplicating the four hand-rolled binary searches behind windowSearch
+// cost the slice path nothing; the flat-* variants show the arena layout
+// with prefix-skip comparisons.
+
+// handrolledSearch is the pre-deduplication searchKeys, kept verbatim as
+// the regression reference.
+func handrolledSearch(keys [][]byte, k []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes.Compare(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && bytes.Equal(keys[lo], k)
+}
+
+func benchKeySet(n int, prefix string) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%s%08d", prefix, i*7))
+	}
+	return keys
+}
+
+func BenchmarkBaseSearch(b *testing.B) {
+	for _, size := range []int{128, 1024} {
+		for _, prefix := range []string{"", "user:profile:v2:"} {
+			keys := benchKeySet(size, prefix)
+			flat := flatBaseFromKeys(keys)
+			probes := make([][]byte, 64)
+			for i := range probes {
+				probes[i] = keys[(i*31)%len(keys)]
+			}
+			tag := fmt.Sprintf("n=%d,pfx=%d", size, len(prefix))
+			b.Run("handrolled/"+tag, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					handrolledSearch(keys, probes[i&63])
+				}
+			})
+			b.Run("slice/"+tag, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					searchKeys(keys, probes[i&63])
+				}
+			})
+			b.Run("flat/"+tag, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					flat.baseSearch(probes[i&63])
+				}
+			})
+		}
+	}
+}

@@ -52,10 +52,10 @@ func (t *Tree) BulkLoad(next func() (key []byte, value uint64, ok bool)) error {
 			kind:     kLeafBase,
 			isLeaf:   true,
 			size:     int32(len(keys)),
-			keys:     keys,
 			vals:     vals,
 			rightSib: invalidNode,
 		}
+		t.setBaseKeys(nb, keys)
 		nb.base = nb
 		if t.opts.Preallocate {
 			nb.slab = t.getSlab(true)
@@ -130,11 +130,11 @@ func (t *Tree) BulkLoad(next func() (key []byte, value uint64, ok bool)) error {
 			nb := &delta{
 				kind:     kInnerBase,
 				size:     int32(len(ks)),
-				keys:     ks,
 				kids:     kids,
 				lowKey:   ks[0],
 				rightSib: invalidNode,
 			}
+			t.setBaseKeys(nb, ks)
 			nb.base = nb
 			if t.opts.Preallocate {
 				nb.slab = t.getSlab(false)
@@ -159,15 +159,21 @@ func (t *Tree) BulkLoad(next func() (key []byte, value uint64, ok bool)) error {
 		newRoot = &delta{
 			kind:     kInnerBase,
 			size:     1,
-			keys:     [][]byte{nil},
 			kids:     []nodeID{level[0].id},
 			rightSib: invalidNode,
 		}
+		t.setBaseKeys(newRoot, [][]byte{nil})
 	} else {
+		// Adopt the top node's key payload wholesale, whichever layout it
+		// was built with.
 		newRoot = &delta{
 			kind:     kInnerBase,
 			size:     top.size,
 			keys:     top.keys,
+			arena:    top.arena,
+			offs:     top.offs,
+			pfx:      top.pfx,
+			nil0:     top.nil0,
 			kids:     top.kids,
 			rightSib: invalidNode,
 		}

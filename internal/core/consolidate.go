@@ -134,7 +134,14 @@ func (s *Session) buildBase(c collected, head *delta) *delta {
 		lowKey:   head.lowKey,
 		highKey:  head.highKey,
 		rightSib: head.rightSib,
-		keys:     c.keys,
+	}
+	s.t.setBaseKeys(nb, c.keys)
+	if s.t.opts.FlatBaseNodes {
+		// The inherited bounds may alias the retired chain's arena (collect
+		// hands out zero-copy subslices); owning copies keep this node's
+		// attributes from pinning its predecessor's arena.
+		nb.lowKey = cloneBound(head.lowKey)
+		nb.highKey = cloneBound(head.highKey)
 	}
 	if c.leaf {
 		nb.kind = kLeafBase
@@ -279,8 +286,8 @@ func (s *Session) collectLeafBaseline(head *delta) collected {
 	c := collected{leaf: true}
 	// Survivors from every base, bounded by the logical node's range.
 	for _, b := range bases {
-		for i := range b.keys {
-			k, v := b.keys[i], b.vals[i]
+		for i, n := 0, b.baseLen(); i < n; i++ {
+			k, v := b.baseKey(i), b.vals[i]
 			if !keyLT(k, head.highKey) {
 				continue
 			}
@@ -391,9 +398,9 @@ func (s *Session) collectLeafFast(head *delta) (collected, bool) {
 	sortRecs(del)
 
 	// The base contributes items below the logical node's high key only.
-	baseEnd := len(base.keys)
+	baseEnd := base.baseLen()
 	if head.highKey != nil {
-		baseEnd, _ = searchKeys(base.keys, head.highKey)
+		baseEnd, _ = base.baseSearch(head.highKey)
 	}
 
 	c := collected{leaf: true}
@@ -417,12 +424,13 @@ func (s *Session) collectLeafFast(head *delta) (collected, bool) {
 		for di < len(del) && int(del[di].offset) < j && consumed[di] {
 			di++
 		}
+		bk := base.baseKey(j)
 		dead := false
 		for x := di; x < len(del) && int(del[x].offset) <= j; x++ {
 			if consumed[x] {
 				continue
 			}
-			if bytes.Equal(del[x].key, base.keys[j]) &&
+			if bytes.Equal(del[x].key, bk) &&
 				(!s.t.opts.NonUnique || del[x].val == base.vals[j]) {
 				consumed[x] = true
 				dead = true
@@ -430,7 +438,7 @@ func (s *Session) collectLeafFast(head *delta) (collected, bool) {
 			}
 		}
 		if !dead {
-			c.keys = append(c.keys, base.keys[j])
+			c.keys = append(c.keys, bk)
 			c.vals = append(c.vals, base.vals[j])
 		}
 	}
@@ -498,8 +506,8 @@ func (s *Session) collectInner(head *delta) collected {
 
 	c := collected{}
 	for _, b := range bases {
-		for i := range b.keys {
-			k := b.keys[i]
+		for i, n := 0, b.baseLen(); i < n; i++ {
+			k := b.baseKey(i)
 			if k != nil && !keyLT(k, head.highKey) {
 				continue
 			}

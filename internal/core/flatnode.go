@@ -1,0 +1,187 @@
+package core
+
+import "bytes"
+
+// This file implements the flat base-node layout (Options.FlatBaseNodes)
+// and the single window-search helper shared by both layouts.
+//
+// The slice layout stores base keys as keys [][]byte: one 24-byte slice
+// header plus a pointer chase per key, so every binary-search probe eats a
+// dependent cache miss and Go's GC must scan ~LeafNodeSize pointers per
+// leaf. The flat layout materializes all keys of a base into one immutable
+// []byte arena plus a []uint32 offset array (key i = arena[offs[i]:
+// offs[i+1]], len(offs) = n+1), with the node's common key prefix length
+// computed at build time so binary-search comparisons skip it. A flat leaf
+// carries ~4 GC-visible payload pointers instead of ~130 and each search
+// probe is a sequential read of adjacent arena bytes.
+//
+// Keys are stored whole (prefix included) so accessors hand out zero-copy
+// full-key subslices; the prefix is skipped only during comparisons. A
+// leftmost inner base's -inf separator (nil key) is preserved by the nil0
+// flag: nil participates in prefix computation as the empty string, which
+// forces pfx = 0 for any node containing it, and baseKey(0) returns nil so
+// separator semantics (sameKey, sortInnerItems, Validate) are unchanged.
+
+// buildFlat materializes a sorted key set as a flat arena. The offset
+// array always has len(keys)+1 entries; a non-nil offs is what marks a
+// base node as flat.
+func buildFlat(keys [][]byte) (arena []byte, offs []uint32, pfx uint32, nil0 bool) {
+	n := len(keys)
+	offs = make([]uint32, n+1)
+	if n == 0 {
+		return nil, offs, 0, false
+	}
+	nil0 = keys[0] == nil
+	// Keys are sorted, so the prefix shared by all of them is the prefix
+	// shared by the first and last.
+	p := commonPrefix(keys[0], keys[n-1])
+	total := 0
+	for _, k := range keys {
+		total += len(k)
+	}
+	arena = make([]byte, 0, total)
+	for i, k := range keys {
+		offs[i] = uint32(len(arena))
+		arena = append(arena, k...)
+	}
+	offs[n] = uint32(len(arena))
+	return arena, offs, uint32(p), nil0
+}
+
+// commonPrefix returns the length of the longest common prefix of a and b
+// (nil behaves as the empty string).
+func commonPrefix(a, b []byte) int {
+	n := min(len(a), len(b))
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// setBaseKeys installs a materialized key set into base node nb using the
+// tree's configured layout. Every base-construction site funnels through
+// here (consolidation via buildBase, splits, BulkLoad, New).
+func (t *Tree) setBaseKeys(nb *delta, keys [][]byte) {
+	if t.opts.FlatBaseNodes {
+		nb.arena, nb.offs, nb.pfx, nb.nil0 = buildFlat(keys)
+		return
+	}
+	nb.keys = keys
+}
+
+// cloneBound copies a boundary key, preserving nil (-inf/+inf). Flat-mode
+// base construction clones its low/high keys because the collected keys
+// they would otherwise alias can point into the replaced chain's arena,
+// and a node attribute must not pin its predecessor's arena for the
+// node's whole lifetime.
+func cloneBound(k []byte) []byte {
+	if k == nil {
+		return nil
+	}
+	return append([]byte(nil), k...)
+}
+
+// baseLen returns the number of keys in base node n under either layout.
+func (n *delta) baseLen() int {
+	if n.offs != nil {
+		return len(n.offs) - 1
+	}
+	return len(n.keys)
+}
+
+// baseKey returns key i of base node n: a zero-copy subslice of the arena
+// for flat bases, the stored slice otherwise. The -inf separator of a
+// leftmost inner base is nil under both layouts.
+func (n *delta) baseKey(i int) []byte {
+	if n.offs != nil {
+		if n.nil0 && i == 0 {
+			return nil
+		}
+		return n.arena[n.offs[i]:n.offs[i+1]]
+	}
+	return n.keys[i]
+}
+
+// baseSearch returns the position of the first key of base n >= k and
+// whether an exact match exists there, under either layout.
+func (n *delta) baseSearch(k []byte) (int, bool) {
+	if n.offs != nil {
+		return n.flatSearch(k, 0, len(n.offs)-1, false)
+	}
+	return searchKeys(n.keys, k)
+}
+
+// baseSearchRange is baseSearch restricted to the window [lo, hi) — the
+// micro-indexed binary search of §4.4.
+func (n *delta) baseSearchRange(k []byte, lo, hi int) (int, bool) {
+	if n.offs != nil {
+		return n.flatSearch(k, lo, hi, false)
+	}
+	return searchKeysRange(n.keys, k, lo, hi)
+}
+
+// flatSearch returns the position of the first key of flat base n within
+// [lo, hi) that is >= k (strict=false) or > k (strict=true), plus whether
+// that position holds an exact match. The node's common prefix is
+// compared once up front; the binary search itself touches suffixes only.
+func (n *delta) flatSearch(k []byte, lo, hi int, strict bool) (int, bool) {
+	if p := int(n.pfx); p > 0 {
+		m := min(len(k), p)
+		// pfx > 0 implies key 0 is not the nil separator, so the shared
+		// prefix is the first pfx bytes at offs[0].
+		o0 := n.offs[0]
+		c := bytes.Compare(k[:m], n.arena[o0:o0+uint32(m)])
+		if c < 0 || c == 0 && len(k) < p {
+			return lo, false // k sorts before every key of the node
+		}
+		if c > 0 {
+			return hi, false // k sorts after every key of the node
+		}
+		k = k[p:]
+	}
+	pos := windowSearch(nil, n.arena, n.offs, n.pfx, k, lo, hi, strict)
+	exact := pos < len(n.offs)-1 &&
+		bytes.Equal(n.arena[n.offs[pos]+n.pfx:n.offs[pos+1]], k)
+	return pos, exact
+}
+
+// windowSearch returns the smallest position in [lo, hi) whose key is
+// >= k (strict=false) or > k (strict=true); hi when no key qualifies.
+// This is the one binary search behind every base-probe site:
+// searchKeys/searchKeysRange, flatSearch, and both routeBaseInner
+// variants reduce to a lower or upper bound over one of the layouts.
+// Slice probes pass keys (offs nil); flat probes pass arena/offs/pfx with
+// k already stripped of the node's common prefix. The layout branch sits
+// inside the loop but always takes the same arm for a given node, so the
+// predictor eats it — unlike an interface or generic comparator, which
+// would cost a non-inlinable call per probe.
+func windowSearch(keys [][]byte, arena []byte, offs []uint32, pfx uint32, k []byte, lo, hi int, strict bool) int {
+	// c < limit folds the lower/upper-bound distinction into the one
+	// comparison already in the loop: limit 0 advances on c < 0 (first
+	// >= k), limit 1 also advances on equality (first > k).
+	limit := 0
+	if strict {
+		limit = 1
+	}
+	if offs == nil {
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if bytes.Compare(keys[mid], k) < limit {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if bytes.Compare(arena[offs[mid]+pfx:offs[mid+1]], k) < limit {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

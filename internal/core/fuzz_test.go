@@ -156,6 +156,9 @@ func runFuzzStream(t *testing.T, data []byte) {
 	if hdr&2 != 0 {
 		opts.GC = GCCentralized
 	}
+	// Bit 2 selects the slice base layout, so most of the existing corpus
+	// (arbitrary header bytes) exercises the flat layout too.
+	opts.FlatBaseNodes = hdr&4 == 0
 	// Tiny nodes and short chains so a 512-key space drives splits,
 	// merges, and consolidations.
 	opts.LeafNodeSize = 16

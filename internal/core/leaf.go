@@ -80,19 +80,26 @@ func (s *Session) leafSeek(head *delta, key []byte) seekResult {
 				continue
 			}
 		case kLeafBase:
-			l, h := 0, len(d.keys)
+			n := d.baseLen()
+			l, h := 0, n
 			if shortcuts {
-				l, h = clampWindow(lo, hi, len(d.keys))
+				l, h = clampWindow(lo, hi, n)
 			}
-			pos, exact := searchKeysRange(d.keys, key, l, h)
+			pos, exact := d.baseSearchRange(key, l, h)
 			if exact {
 				return seekResult{found: true, value: d.vals[pos], baseOff: int32(pos)}
 			}
 			return seekResult{found: false, baseOff: int32(pos)}
 		default:
-			// Inner kinds cannot appear in a leaf chain; fall through to
-			// the base search conservatively.
-			return seekResult{found: false, baseOff: -1}
+			// Inner kinds cannot appear in a leaf chain; skip the
+			// unexpected record and fall through to the base search
+			// conservatively. Its offset cannot be trusted, so the
+			// accumulated search window is reset. A chain that never
+			// reaches a base reports not-found with no offset.
+			lo, hi = 0, int(^uint(0)>>1)
+			if d.next == nil {
+				return seekResult{found: false, baseOff: -1}
+			}
 		}
 		s.chases++
 		d = d.next
@@ -158,9 +165,9 @@ func (s *Session) collectValues(head *delta, key []byte, out []uint64) (res []ui
 				continue
 			}
 		case kLeafBase:
-			pos, _ := searchKeys(d.keys, key)
+			pos, _ := d.baseSearch(key)
 			out = append(out, present...)
-			for i := pos; i < len(d.keys) && bytes.Equal(d.keys[i], key); i++ {
+			for i, n := pos, d.baseLen(); i < n && bytes.Equal(d.baseKey(i), key); i++ {
 				if v := d.vals[i]; !containsVal(deleted, v) && !containsVal(present, v) {
 					out = append(out, v)
 				}
@@ -168,8 +175,12 @@ func (s *Session) collectValues(head *delta, key []byte, out []uint64) (res []ui
 			s.present, s.deleted = present, deleted // return scratch space
 			return out, int32(pos)
 		default:
-			s.present, s.deleted = present, deleted
-			return out, -1
+			// Skip the unexpected record and keep replaying toward the
+			// base (see leafSeek); a chain with no base reports no values.
+			if d.next == nil {
+				s.present, s.deleted = present, deleted
+				return out, -1
+			}
 		}
 		s.chases++
 		d = d.next
@@ -213,15 +224,19 @@ func (s *Session) leafSeekPair(head *delta, key []byte, value uint64) seekResult
 				continue
 			}
 		case kLeafBase:
-			pos, _ := searchKeys(d.keys, key)
-			for i := pos; i < len(d.keys) && bytes.Equal(d.keys[i], key); i++ {
+			pos, _ := d.baseSearch(key)
+			for i, n := pos, d.baseLen(); i < n && bytes.Equal(d.baseKey(i), key); i++ {
 				if d.vals[i] == value {
 					return seekResult{found: true, value: value, baseOff: int32(pos)}
 				}
 			}
 			return seekResult{found: false, baseOff: int32(pos)}
 		default:
-			return seekResult{found: false, baseOff: -1}
+			// Skip the unexpected record and keep replaying toward the
+			// base (see leafSeek).
+			if d.next == nil {
+				return seekResult{found: false, baseOff: -1}
+			}
 		}
 		s.chases++
 		d = d.next
@@ -262,15 +277,19 @@ func (s *Session) leafSeekFirstVisible(head *delta, key []byte) seekResult {
 				continue
 			}
 		case kLeafBase:
-			pos, _ := searchKeys(d.keys, key)
-			for i := pos; i < len(d.keys) && bytes.Equal(d.keys[i], key); i++ {
+			pos, _ := d.baseSearch(key)
+			for i, n := pos, d.baseLen(); i < n && bytes.Equal(d.baseKey(i), key); i++ {
 				if !containsVal(deleted, d.vals[i]) {
 					return seekResult{found: true, value: d.vals[i], baseOff: int32(pos)}
 				}
 			}
 			return seekResult{found: false, baseOff: int32(pos)}
 		default:
-			return seekResult{found: false, baseOff: -1}
+			// Skip the unexpected record and keep replaying toward the
+			// base (see leafSeek).
+			if d.next == nil {
+				return seekResult{found: false, baseOff: -1}
+			}
 		}
 		s.chases++
 		d = d.next

@@ -8,18 +8,20 @@ import (
 
 // TestOptionsMatrix runs a concurrent smoke workload on every combination
 // of the four switchable paper optimizations (§4.1 pre-allocation, §4.3
-// fast consolidation, §4.4 search shortcuts, §3.1 non-unique keys) under
-// both GC schemes — 16 flag combinations × 2 schemes — so no combination
-// can silently rot. Nodes are tiny so the smoke forces splits, merges,
-// and consolidations; the workload mixes the single-op and batch paths.
+// fast consolidation, §4.4 search shortcuts, §3.1 non-unique keys) plus
+// the flat base-node layout, under both GC schemes — 32 flag combinations
+// × 2 schemes — so no combination can silently rot. Nodes are tiny so the
+// smoke forces splits, merges, and consolidations; the workload mixes the
+// single-op and batch paths.
 func TestOptionsMatrix(t *testing.T) {
 	gcName := map[GCScheme]string{GCDecentralized: "decentralized", GCCentralized: "centralized"}
-	for mask := 0; mask < 16; mask++ {
+	for mask := 0; mask < 32; mask++ {
 		opts := DefaultOptions()
 		opts.Preallocate = mask&1 != 0
 		opts.FastConsolidate = mask&2 != 0
 		opts.SearchShortcuts = mask&4 != 0
 		opts.NonUnique = mask&8 != 0
+		opts.FlatBaseNodes = mask&16 != 0
 		opts.LeafNodeSize = 16
 		opts.InnerNodeSize = 8
 		opts.LeafChainLength = 4
@@ -28,9 +30,9 @@ func TestOptionsMatrix(t *testing.T) {
 		opts.InnerMergeSize = 2
 		for _, gc := range []GCScheme{GCDecentralized, GCCentralized} {
 			opts.GC = gc
-			name := fmt.Sprintf("prealloc=%t,fastcons=%t,shortcuts=%t,nonuniq=%t/%s",
+			name := fmt.Sprintf("prealloc=%t,fastcons=%t,shortcuts=%t,nonuniq=%t,flat=%t/%s",
 				opts.Preallocate, opts.FastConsolidate, opts.SearchShortcuts,
-				opts.NonUnique, gcName[gc])
+				opts.NonUnique, opts.FlatBaseNodes, gcName[gc])
 			t.Run(name, func(t *testing.T) {
 				optionsMatrixSmoke(t, opts)
 			})

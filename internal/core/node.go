@@ -93,9 +93,21 @@ type delta struct {
 	// Base-node payload. keys/vals for leaves; keys/kids for inner nodes,
 	// where kids[i] covers [keys[i], keys[i+1]). keys[0] of an inner base
 	// equals the node's low key.
-	keys [][]byte
-	vals []uint64
-	kids []nodeID
+	//
+	// Keys use one of two layouts (see flatnode.go): the slice layout
+	// fills keys; the flat layout (Options.FlatBaseNodes) leaves keys nil
+	// and fills arena/offs/pfx/nil0 instead — key i is
+	// arena[offs[i]:offs[i+1]], pfx is the length of the prefix shared by
+	// every key, and nil0 marks a leftmost inner base whose key 0 is the
+	// nil -inf separator. A non-nil offs identifies a flat base. Access
+	// goes through baseLen/baseKey/baseSearch*.
+	keys  [][]byte
+	arena []byte
+	offs  []uint32
+	pfx   uint32
+	nil0  bool
+	vals  []uint64
+	kids  []nodeID
 
 	// slab is the node's pre-allocated delta area (bases only, when the
 	// Preallocate optimization is on).
@@ -234,45 +246,28 @@ func keyLE(k, bound []byte) bool {
 // searchKeys returns the position of the first element of keys >= k and
 // whether an exact match exists there.
 func searchKeys(keys [][]byte, k []byte) (int, bool) {
-	lo, hi := 0, len(keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if bytes.Compare(keys[mid], k) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
+	lo := windowSearch(keys, nil, nil, 0, k, 0, len(keys), false)
 	return lo, lo < len(keys) && bytes.Equal(keys[lo], k)
 }
 
 // searchKeysRange is searchKeys restricted to the window [lo, hi) — the
 // micro-indexed binary search of §4.4.
 func searchKeysRange(keys [][]byte, k []byte, lo, hi int) (int, bool) {
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if bytes.Compare(keys[mid], k) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo, lo < len(keys) && bytes.Equal(keys[lo], k)
+	pos := windowSearch(keys, nil, nil, 0, k, lo, hi, false)
+	return pos, pos < len(keys) && bytes.Equal(keys[pos], k)
 }
 
 // routeBaseInner returns the child of an inner base node that covers k:
-// the child of the largest separator <= k. The caller guarantees
-// k >= node.lowKey, so position 0 always covers underflow.
+// the child of the largest separator <= k (the first separator > k, minus
+// one). The caller guarantees k >= node.lowKey, so position 0 always
+// covers underflow. A nil separator at position 0 (-inf) compares below
+// any valid key under both layouts.
 func routeBaseInner(n *delta, k []byte) nodeID {
-	// First index with keys[i] > k, minus one.
-	lo, hi := 0, len(n.keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if bytes.Compare(n.keys[mid], k) <= 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	var lo int
+	if n.offs != nil {
+		lo, _ = n.flatSearch(k, 0, len(n.offs)-1, true)
+	} else {
+		lo = windowSearch(n.keys, nil, nil, 0, k, 0, len(n.keys), true)
 	}
 	if lo == 0 {
 		return n.kids[0]
@@ -284,14 +279,11 @@ func routeBaseInner(n *delta, k []byte) nodeID {
 // (the largest separator strictly < k) — the backward-iteration rule of
 // Appendix C.2.
 func routeBaseInnerLeft(n *delta, k []byte) nodeID {
-	lo, hi := 0, len(n.keys)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if bytes.Compare(n.keys[mid], k) < 0 {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	var lo int
+	if n.offs != nil {
+		lo, _ = n.flatSearch(k, 0, len(n.offs)-1, false)
+	} else {
+		lo = windowSearch(n.keys, nil, nil, 0, k, 0, len(n.keys), false)
 	}
 	if lo == 0 {
 		return n.kids[0]

@@ -41,6 +41,11 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 		return
 	}
 	splitKey := c.keys[mid]
+	if t.opts.FlatBaseNodes {
+		// c.keys may alias the retired chain's arena; the split key
+		// outlives it as node bounds and separator keys.
+		splitKey = cloneBound(splitKey)
+	}
 
 	// Stage I: the new right sibling.
 	rid := t.mt.Allocate()
@@ -135,6 +140,9 @@ func (s *Session) splitRoot(head *delta, c collected) {
 		return
 	}
 	splitKey := c.keys[mid]
+	if t.opts.FlatBaseNodes {
+		splitKey = cloneBound(splitKey)
+	}
 	lid, rid := t.mt.Allocate(), t.mt.Allocate()
 
 	left := s.buildBase(collected{
@@ -153,9 +161,9 @@ func (s *Session) splitRoot(head *delta, c collected) {
 		kind:     kInnerBase,
 		size:     2,
 		rightSib: invalidNode,
-		keys:     [][]byte{nil, splitKey},
 		kids:     []nodeID{lid, rid},
 	}
+	t.setBaseKeys(newRoot, [][]byte{nil, splitKey})
 	newRoot.base = newRoot
 	if s.t.opts.Preallocate {
 		newRoot.slab = s.t.getSlab(false)

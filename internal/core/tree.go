@@ -77,6 +77,7 @@ func New(opts Options) *Tree {
 	t.root = t.mt.Allocate()
 	leafID := t.mt.Allocate()
 	leaf := &delta{kind: kLeafBase, isLeaf: true, rightSib: invalidNode}
+	t.setBaseKeys(leaf, nil)
 	leaf.base = leaf
 	if opts.Preallocate {
 		leaf.slab = t.getSlab(true)
@@ -86,10 +87,10 @@ func New(opts Options) *Tree {
 	root := &delta{
 		kind:     kInnerBase,
 		rightSib: invalidNode,
-		keys:     [][]byte{nil}, // -inf separator
 		kids:     []nodeID{leafID},
 		size:     1,
 	}
+	t.setBaseKeys(root, [][]byte{nil}) // -inf separator
 	root.base = root
 	if opts.Preallocate {
 		root.slab = t.getSlab(false)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 
@@ -49,6 +50,12 @@ type BenchGatePoint struct {
 	Mops  float64 `json:"mops"`
 	P50us float64 `json:"p50_us"`
 	P99us float64 `json:"p99_us"`
+	// AllocsPerOp/BytesPerOp are process-wide heap-allocation deltas
+	// (runtime.MemStats) across the measured phase divided by its op
+	// count, so a PR that reintroduces per-lookup allocations trips the
+	// gate even when throughput hides it.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	// LeafHits/ParentHits report how often the batched traversal reused
 	// its cache instead of descending from the root (zero when unbatched).
 	LeafHits   uint64 `json:"leaf_hits,omitempty"`
@@ -82,7 +89,10 @@ func envFloat(name string, def float64) float64 {
 //   - a committed baseline exists (BENCH_GATE_BASELINE, default
 //     bench/BENCH_hotpath.json) and batched throughput dropped more than
 //     BENCH_GATE_TOLERANCE (default 0.25) below it, or batched p99 rose
-//     more than twice that tolerance above it.
+//     more than twice that tolerance above it, or batched allocs/op rose
+//     more than BENCH_GATE_ALLOC_SLACK (default 0.5, absolute) above it,
+//     or batched bytes/op rose past baseline*(1+tolerance) +
+//     BENCH_GATE_BYTES_SLACK (default 64).
 //
 // The tolerance is deliberately generous: the gate runs on shared CI
 // machines and must only catch real regressions, not scheduler noise.
@@ -107,9 +117,15 @@ func BenchGate(w io.Writer, sc Scale) {
 		RunPhase(idx, ks, ycsb.InsertOnly, sc.Keys, sc.Threads, phaseSeed(sc.Seed, 0))
 		tree := idx.(index.BwBacked).Tree()
 		preStats := tree.Stats()
+		runtime.GC()
+		var mem0, mem1 runtime.MemStats
+		runtime.ReadMemStats(&mem0)
 		dur := RunPhaseBatch(idx, ks, ycsb.ReadOnly, sc.Ops, sc.Threads, phaseSeed(sc.Seed, 1), batch, nil)
+		runtime.ReadMemStats(&mem1)
 		var pt BenchGatePoint
 		pt.Mops = mops(sc.Ops, dur)
+		pt.AllocsPerOp = float64(mem1.Mallocs-mem0.Mallocs) / float64(sc.Ops)
+		pt.BytesPerOp = float64(mem1.TotalAlloc-mem0.TotalAlloc) / float64(sc.Ops)
 		if lat := tree.Latencies(); lat != nil {
 			reads := lat.Class(obs.OpRead)
 			pt.P50us = reads.Quantile(0.50) / 1e3
@@ -137,11 +153,13 @@ func BenchGate(w io.Writer, sc Scale) {
 	}
 
 	tbl := NewTable(fmt.Sprintf("Bench gate: YCSB-C Rand-Int, %d threads, batch=%d", sc.Threads, benchGateBatch),
-		"Mops/s", "p50 µs", "p99 µs", "leaf hits", "parent hits")
+		"Mops/s", "p50 µs", "p99 µs", "allocs/op", "B/op", "leaf hits", "parent hits")
 	tbl.AddRow("unbatched", f3(rep.Unbatched.Mops), fmt.Sprintf("%.2f", rep.Unbatched.P50us),
-		fmt.Sprintf("%.2f", rep.Unbatched.P99us), "-", "-")
+		fmt.Sprintf("%.2f", rep.Unbatched.P99us),
+		fmt.Sprintf("%.3f", rep.Unbatched.AllocsPerOp), fmt.Sprintf("%.1f", rep.Unbatched.BytesPerOp), "-", "-")
 	tbl.AddRow("batched", f3(rep.Batched.Mops), fmt.Sprintf("%.2f", rep.Batched.P50us),
 		fmt.Sprintf("%.2f", rep.Batched.P99us),
+		fmt.Sprintf("%.3f", rep.Batched.AllocsPerOp), fmt.Sprintf("%.1f", rep.Batched.BytesPerOp),
 		fmt.Sprint(rep.Batched.LeafHits), fmt.Sprint(rep.Batched.ParentHits))
 	tbl.Note("Report written to %s.", out)
 	tbl.WriteTo(w)
@@ -174,6 +192,21 @@ func BenchGate(w io.Writer, sc Scale) {
 				failed = true
 				fmt.Fprintf(w, "bench-gate: FAIL batched p99 %.2fµs over baseline ceiling %.2fµs (baseline %.2fµs)\n",
 					rep.Batched.P99us, ceil, base.Batched.P99us)
+			}
+			// Allocation gates are absolute-slack, not relative: the
+			// baseline sits near zero allocs/op, where a percentage
+			// tolerance would permit nothing (or everything).
+			allocSlack := envFloat("BENCH_GATE_ALLOC_SLACK", 0.5)
+			if ceil := base.Batched.AllocsPerOp + allocSlack; rep.Batched.AllocsPerOp > ceil {
+				failed = true
+				fmt.Fprintf(w, "bench-gate: FAIL batched %.3f allocs/op over baseline ceiling %.3f (baseline %.3f)\n",
+					rep.Batched.AllocsPerOp, ceil, base.Batched.AllocsPerOp)
+			}
+			bytesSlack := envFloat("BENCH_GATE_BYTES_SLACK", 64)
+			if ceil := base.Batched.BytesPerOp*(1+tol) + bytesSlack; rep.Batched.BytesPerOp > ceil {
+				failed = true
+				fmt.Fprintf(w, "bench-gate: FAIL batched %.1f B/op over baseline ceiling %.1f (baseline %.1f)\n",
+					rep.Batched.BytesPerOp, ceil, base.Batched.BytesPerOp)
 			}
 			if !failed {
 				fmt.Fprintf(w, "bench-gate: within tolerance of baseline %s (batched %.3f vs %.3f Mops/s)\n",

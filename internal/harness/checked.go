@@ -25,9 +25,12 @@ func Checked(w io.Writer, sc Scale) {
 	openCentral.GC = core.GCCentralized
 	baseDecentral := core.BaselineOptions()
 	baseDecentral.GC = core.GCDecentralized
+	openSlice := core.DefaultOptions()
+	openSlice.FlatBaseNodes = false
 	entries := []entry{
 		{"OpenBwTree (decentralized GC)", index.NewOpenBwTree},
 		{"OpenBwTree (centralized GC)", func() index.Index { return index.NewBwTreeWith("OpenBwTree-central", openCentral) }},
+		{"OpenBwTree (slice bases)", func() index.Index { return index.NewBwTreeWith("OpenBwTree-slice", openSlice) }},
 		{"BwTree (centralized GC)", index.NewBaselineBwTree},
 		{"BwTree (decentralized GC)", func() index.Index { return index.NewBwTreeWith("BwTree-decentral", baseDecentral) }},
 		{"SkipList", index.NewSkipList},

@@ -92,6 +92,9 @@ func TestExperimentsSmoke(t *testing.T) {
 			t.Setenv("DURABILITY_GATE_OUT", filepath.Join(t.TempDir(), "BENCH_durability.json"))
 			t.Setenv("DURABILITY_GATE_MIN_RATIO", "0")
 			t.Setenv("DURABILITY_GATE_MIN_REPLAY", "0")
+			// And for flatnode: scratch report, no speedup floor.
+			t.Setenv("FLATNODE_GATE_OUT", filepath.Join(t.TempDir(), "BENCH_flatnode.json"))
+			t.Setenv("FLATNODE_GATE_MIN_SPEEDUP", "0")
 			var b strings.Builder
 			e.Run(&b, sc)
 			if !strings.Contains(b.String(), "===") {

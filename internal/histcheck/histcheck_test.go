@@ -3,8 +3,17 @@ package histcheck
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/index"
 )
+
+// sliceBwTree is the OpenBw-Tree with the slice base-node layout, so the
+// checked runs cover FlatBaseNodes both ways (DefaultOptions is flat).
+func sliceBwTree() index.Index {
+	opts := core.DefaultOptions()
+	opts.FlatBaseNodes = false
+	return index.NewBwTreeWith("OpenBwTree-slice", opts)
+}
 
 // seq builds sequential (non-overlapping) interval stamps: op i occupies
 // [2i+1, 2i+2].
@@ -228,6 +237,7 @@ func TestRunCheckedBatchedClean(t *testing.T) {
 	}
 	entries := []entry{
 		{"OpenBwTree", index.NewOpenBwTree},
+		{"OpenBwTree-slice", sliceBwTree},
 		{"BwTree", index.NewBaselineBwTree},
 	}
 	if !testing.Short() {
@@ -266,6 +276,7 @@ func TestRunCheckedClean(t *testing.T) {
 	}
 	entries := []entry{
 		{"OpenBwTree", index.NewOpenBwTree},
+		{"OpenBwTree-slice", sliceBwTree},
 		{"BwTree", index.NewBaselineBwTree},
 	}
 	if !testing.Short() {

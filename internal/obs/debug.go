@@ -22,6 +22,10 @@ type Vars struct {
 	Gauges func() map[string]float64
 	// Latency returns the current latency snapshot.
 	Latency func() *LatencySnapshot
+	// Shape returns structural statistics (tree shape and base-node
+	// memory footprint). Served on demand at /debug/shape only — the
+	// underlying tree walk is too expensive for the periodic sampler.
+	Shape func() map[string]any
 	// Trace drains the event tracer. Draining is destructive, so the
 	// /debug/trace endpoint consumes events.
 	Trace func() []Event
@@ -155,6 +159,13 @@ func Mux(v Vars, sampler *Sampler) *http.ServeMux {
 		}
 		writeJSON(w, snap.Summary())
 	})
+	mux.HandleFunc("/debug/shape", func(w http.ResponseWriter, r *http.Request) {
+		if v.Shape == nil {
+			http.Error(w, "shape statistics unavailable", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, v.Shape())
+	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		if v.Trace == nil {
 			http.Error(w, "event tracing disabled", http.StatusNotFound)
@@ -172,8 +183,8 @@ func Mux(v Vars, sampler *Sampler) *http.ServeMux {
 	})
 	mux.HandleFunc("/debug", func(w http.ResponseWriter, r *http.Request) {
 		paths := []string{
-			"/debug/vars", "/debug/stats", "/debug/latency", "/debug/trace",
-			"/debug/pprof/",
+			"/debug/vars", "/debug/stats", "/debug/latency", "/debug/shape",
+			"/debug/trace", "/debug/pprof/",
 		}
 		sort.Strings(paths)
 		w.Header().Set("Content-Type", "text/plain")

@@ -14,11 +14,16 @@ const (
 	ReadUpdate
 	// ScanInsert is YCSB-E (95% scan, 5% insert).
 	ScanInsert
+	// ReadMostly is YCSB-B (95% read, 5% update) — the read-mostly mix
+	// the flatnode experiment measures. Not part of the paper's four-mix
+	// grid (AllWorkloads), so the Fig. 8-18 tables are unchanged.
+	ReadMostly
 )
 
 var workloadNames = map[Workload]string{
 	InsertOnly: "Insert-only", ReadOnly: "Read-only",
 	ReadUpdate: "Read/Update", ScanInsert: "Scan/Insert",
+	ReadMostly: "Read-mostly",
 }
 
 func (w Workload) String() string { return workloadNames[w] }
@@ -34,6 +39,8 @@ func ParseWorkload(s string) (Workload, error) {
 		return ReadUpdate, nil
 	case "e", "scan", "Scan/Insert":
 		return ScanInsert, nil
+	case "b", "read-mostly", "Read-mostly":
+		return ReadMostly, nil
 	}
 	return 0, fmt.Errorf("ycsb: unknown workload %q", s)
 }
@@ -113,6 +120,11 @@ func (s *Stream) Next() Op {
 			return Op{Kind: OpRead, Key: s.ks.Keys[s.zipf.Next()]}
 		}
 		return Op{Kind: OpUpdate, Key: s.ks.Keys[s.zipf.Next()], Value: s.seqVal()}
+	case ReadMostly:
+		if s.rng.Intn(100) < 5 {
+			return Op{Kind: OpUpdate, Key: s.ks.Keys[s.zipf.Next()], Value: s.seqVal()}
+		}
+		return Op{Kind: OpRead, Key: s.ks.Keys[s.zipf.Next()]}
 	default: // ScanInsert
 		if s.rng.Intn(100) < 5 {
 			return Op{Kind: OpInsert, Key: s.ks.ExtraKey(), Value: s.seqVal()}

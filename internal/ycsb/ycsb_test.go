@@ -159,6 +159,7 @@ func TestWorkloadMixes(t *testing.T) {
 		ReadOnly:   {read: 1},
 		ReadUpdate: {read: 0.5, update: 0.5},
 		ScanInsert: {scan: 0.95, insert: 0.05},
+		ReadMostly: {read: 0.95, update: 0.05},
 	}
 	for w, want := range cases {
 		s := NewStream(w, ks, 0, 99)
@@ -208,7 +209,7 @@ func TestParseHelpers(t *testing.T) {
 	if _, err := ParseKeyType("bogus"); err == nil {
 		t.Fatal("ParseKeyType accepted bogus")
 	}
-	for _, s := range []string{"insert", "a", "c", "e"} {
+	for _, s := range []string{"insert", "a", "b", "c", "e"} {
 		if _, err := ParseWorkload(s); err != nil {
 			t.Fatalf("ParseWorkload(%q): %v", s, err)
 		}
