@@ -19,6 +19,19 @@ type TraceEvent = obs.Event
 // DebugServer is a live HTTP debug surface over one tree.
 type DebugServer = obs.Server
 
+// OpSummary is one flight-recorder entry (requires
+// Options.FlightRecorderSize > 0). Obtain them with Tree.FlightRecent.
+type OpSummary = obs.OpSummary
+
+// OpTrace is one sampled operation's phase breakdown (requires
+// Options.PhaseSampleEvery > 0). Obtain them with Tree.PhaseTraces and
+// export with WriteChromeTrace.
+type OpTrace = obs.OpTrace
+
+// WriteChromeTrace renders sampled phase traces as Chrome trace-event
+// JSON, loadable in chrome://tracing and Perfetto.
+var WriteChromeTrace = obs.WriteChromeTrace
+
 // DebugVars builds the observability data source for t: counters and
 // gauges from Stats, plus latency and trace feeds when the tree was
 // built with them enabled. Useful for mounting the debug surface into an
@@ -43,10 +56,16 @@ func DebugVars(t *Tree) obs.Vars {
 		},
 		Gauges: func() map[string]float64 {
 			st := t.Stats()
+			mt := t.MappingStats()
 			return map[string]float64{
 				"abort_rate":          st.AbortRate(),
 				"leaf_prealloc_util":  st.LeafPreallocUtilization(),
 				"inner_prealloc_util": st.InnerPreallocUtilization(),
+				"epoch_lag":           float64(st.GC.EpochLag),
+				"mapping_allocated":   float64(mt.Allocated),
+				"mapping_free":        float64(mt.Free),
+				"mapping_live":        float64(mt.Live),
+				"mapping_occupancy":   float64(mt.Live) / float64(mt.Capacity),
 			}
 		},
 	}
@@ -79,7 +98,75 @@ func DebugVars(t *Tree) obs.Vars {
 		v.Trace = t.TraceEvents
 		v.TraceDropped = t.TraceDropped
 	}
+	deepOn := t.Options().PhaseSampleEvery > 0 || t.Options().FlightRecorderSize > 0
+	if deepOn {
+		v.MetricHists = func() []obs.HistFeed {
+			return []obs.HistFeed{{
+				Name: "bwtree_chain_depth",
+				Help: "Leaf delta-chain depth observed per operation.",
+				Snap: t.ChainDepths(),
+			}}
+		}
+	}
+	if t.Options().FlightRecorderSize > 0 {
+		v.Flight = t.FlightRecent
+	}
+	if t.Options().PhaseSampleEvery > 0 {
+		v.PhaseTraces = t.PhaseTraces
+	}
 	return v
+}
+
+// DurableDebugVars is DebugVars over the wrapped tree plus the
+// durability layer's health surface: WAL counters, flush-queue depth,
+// group-commit batch and fsync-latency distributions, pending (appended
+// but not yet durable) LSNs, and checkpoint age.
+func DurableDebugVars(d *Durable) obs.Vars {
+	v := DebugVars(d.Tree())
+	treeCounters, treeGauges, treeHists := v.Counters, v.Gauges, v.MetricHists
+	v.Counters = func() map[string]uint64 {
+		m := treeCounters()
+		ws := d.WALStats()
+		m["wal_appends"] = ws.Appends
+		m["wal_syncs"] = ws.Syncs
+		m["wal_bytes"] = ws.Bytes
+		m["wal_segments"] = ws.Segments
+		return m
+	}
+	v.Gauges = func() map[string]float64 {
+		m := treeGauges()
+		ws := d.WALStats()
+		m["wal_queue_bytes"] = float64(ws.QueueBytes)
+		m["wal_queue_records"] = float64(ws.QueueRecords)
+		m["wal_pending_lsns"] = float64(ws.AppendedLSN - ws.DurableLSN)
+		m["checkpoint_age_seconds"] = d.CheckpointAge().Seconds()
+		return m
+	}
+	v.MetricHists = func() []obs.HistFeed {
+		var feeds []obs.HistFeed
+		if treeHists != nil {
+			feeds = treeHists()
+		}
+		ws := d.WALStats()
+		return append(feeds,
+			obs.HistFeed{
+				Name: "bwtree_wal_fsync_seconds",
+				Help: "WAL fsync wall time per group commit.",
+				Snap: ws.Fsync, Seconds: true,
+			},
+			obs.HistFeed{
+				Name: "bwtree_wal_batch_records",
+				Help: "Records committed per WAL fsync (group-commit batch size).",
+				Snap: ws.Batch,
+			})
+	}
+	return v
+}
+
+// ServeDurableDebug is ServeDebug for a durable tree: the same surface
+// extended with the WAL and checkpoint health gauges.
+func ServeDurableDebug(d *Durable, addr string) (*DebugServer, error) {
+	return obs.Serve(addr, DurableDebugVars(d), time.Second)
 }
 
 // ServeDebug starts an HTTP debug server for t on addr (host:port; port

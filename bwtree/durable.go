@@ -2,14 +2,17 @@ package bwtree
 
 import (
 	"errors"
+	"fmt"
 	"hash/maphash"
 	"runtime"
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -58,6 +61,11 @@ type Durable struct {
 	mu     sync.Mutex // guards the closed flag and the convenience session
 	closed bool
 	convs  *Session // lazy session backing the convenience methods
+
+	// lastCP is the wall-clock UnixNano of the last durability baseline:
+	// set at open (recovery establishes one) and on every successful
+	// Checkpoint. Feeds the checkpoint-age health gauge.
+	lastCP atomic.Int64
 
 	// cpMu serializes whole checkpoints: overlapping WriteCheckpoint
 	// calls would each publish a manifest and then prune every snapshot
@@ -151,7 +159,21 @@ func OpenDurable(dir string, o DurableOptions) (*Durable, error) {
 		d.t.Close()
 		return nil, err
 	}
+	d.lastCP.Store(time.Now().UnixNano())
+	if d.rec.Replayed > 0 || d.rec.TornTail {
+		// Surface the recovery in the flight recorder (no-op unless the
+		// tree was opened with FlightRecorderSize set).
+		d.t.AnomalyNote(fmt.Sprintf(
+			"recovery: replayed %d records after LSN %d (torn tail: %v)",
+			d.rec.Replayed, d.rec.SnapshotLSN, d.rec.TornTail))
+	}
 	return d, nil
+}
+
+// CheckpointAge returns the time since the last durability baseline (the
+// last successful Checkpoint, or recovery at open).
+func (d *Durable) CheckpointAge() time.Duration {
+	return time.Duration(time.Now().UnixNano() - d.lastCP.Load())
 }
 
 // replayFold recovers a log-only directory into an empty tree: each
@@ -370,22 +392,63 @@ func (ds *DurableSession) Release() { ds.s.Release() }
 // Session exposes the wrapped tree session for read-only use (iterators).
 func (ds *DurableSession) Session() *Session { return ds.s }
 
+// walOpClass maps a log op byte to its latency/trace class.
+func walOpClass(op byte) obs.OpClass {
+	switch op {
+	case wal.OpUpdate:
+		return obs.OpUpdate
+	case wal.OpDelete:
+		return obs.OpDelete
+	default:
+		return obs.OpInsert
+	}
+}
+
 // commit runs the write-ahead protocol for one mutation: under the key's
 // stripe lock, append the record (assigning its LSN) and apply it to the
 // tree; then, outside the lock, wait for group commit if configured.
+//
+// Deep-path tracing wraps the whole protocol in one probe operation: the
+// inner tree apply nests inside it (see obs.Probe.OpBegin), so a sampled
+// commit's trace carries the WAL-append and fsync-wait spans next to the
+// in-memory phases, and its flight-recorder latency is the full
+// acknowledged-commit latency, not just the tree apply.
 func (ds *DurableSession) commit(op byte, key []byte, value uint64, apply func() bool) (bool, error) {
-	d := ds.d
+	return commitProbed(ds.d, ds.s.Probe(), op, key, value, apply)
+}
+
+func commitProbed(d *Durable, p *obs.Probe, op byte, key []byte, value uint64, apply func() bool) (ok bool, err error) {
+	var opT0 int64
+	if p != nil {
+		p.OpBegin()
+		opT0 = obs.Now()
+		defer func() { p.OpEnd(walOpClass(op), opT0, obs.Now()-opT0) }()
+	}
 	st := d.stripe(key)
 	st.Lock()
+	var t0 int64
+	if p.Active() {
+		t0 = obs.Now()
+	}
 	lsn, err := d.w.Append(op, key, value)
+	if t0 != 0 {
+		p.Span(obs.PhaseWALAppend, t0, lsn)
+	}
 	if err != nil {
 		st.Unlock()
 		return false, err
 	}
-	ok := apply()
+	ok = apply()
 	st.Unlock()
 	if d.o.SyncOnCommit {
-		if err := d.w.WaitDurable(lsn); err != nil {
+		if t0 = 0; p.Active() {
+			t0 = obs.Now()
+		}
+		err = d.w.WaitDurable(lsn)
+		if t0 != 0 {
+			p.Span(obs.PhaseFsyncWait, t0, lsn)
+		}
+		if err != nil {
 			return ok, err
 		}
 	}
@@ -465,6 +528,10 @@ func (d *Durable) convCommit(op byte, key []byte, value uint64, apply func(*Sess
 		d.mu.Unlock()
 		return false, err
 	}
+	// The conv session is shared across callers under d.mu, and the
+	// group-commit wait happens after the unlock — probe state (single
+	// owner by contract) cannot safely span it, so the convenience path
+	// stays unprobed. Hot workloads use DurableSession.commit, which is.
 	st := d.stripe(key)
 	st.Lock()
 	lsn, err := d.w.Append(op, key, value)
@@ -540,6 +607,7 @@ func (d *Durable) Checkpoint() (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	d.lastCP.Store(time.Now().UnixNano())
 	return m.LSN, nil
 }
 

@@ -106,6 +106,8 @@ func main() {
 	checkOps := flag.Uint64("check-ops", 400_000, "total operation budget with -check (recorded histories must fit in memory)")
 	walDir := flag.String("wal", "", "run under the durability layer in this directory and crash/recover mid-soak")
 	seed := flag.Int64("seed", 0, "crash-timing seed for -wal (0 = derive from time)")
+	traceOut := flag.String("trace-out", "", "write sampled phase traces as Chrome trace-event JSON to this file at exit (enables deep tracing)")
+	sampleEvery := flag.Int("phase-sample", 64, "with deep tracing on, phase-sample every Nth operation per worker")
 	flag.Parse()
 
 	if *walDir != "" && (*batch > 1 || *check) {
@@ -122,6 +124,15 @@ func main() {
 	if *debugAddr != "" {
 		opts.LatencyHistograms = true
 		opts.TraceRingSize = 1024
+	}
+	if *debugAddr != "" || *traceOut != "" {
+		// Deep-path tracing: sampled phase traces (chain walks, CaS
+		// retries, fsync waits in wal mode) plus the always-on flight
+		// recorder behind /debug/flightrec and the anomaly dumps.
+		opts.PhaseSampleEvery = *sampleEvery
+		opts.PhaseTraceBuffer = 4096
+		opts.FlightRecorderSize = 512
+		opts.FlightLatencyThreshold = 250 * time.Millisecond
 	}
 
 	var t *bwtree.Tree
@@ -157,12 +168,20 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		srv, err := bwtree.ServeDebug(t, *debugAddr)
+		var srv *bwtree.DebugServer
+		var err error
+		if d != nil {
+			// wal mode gets the extended surface: WAL queue depth,
+			// group-commit batch sizes, checkpoint age.
+			srv, err = bwtree.ServeDurableDebug(d, *debugAddr)
+		} else {
+			srv, err = bwtree.ServeDebug(t, *debugAddr)
+		}
 		if err != nil {
 			log.Fatalf("debug server: %v", err)
 		}
 		defer srv.Close()
-		log.Printf("debug endpoints at http://%s/debug/vars (stats, latency, trace, pprof)", srv.Addr())
+		log.Printf("debug endpoints at http://%s/debug (stats, latency, trace, flightrec, phasetrace, metrics, pprof)", srv.Addr())
 	}
 
 	var stop atomic.Bool
@@ -366,6 +385,13 @@ loop:
 	stop.Store(true)
 	<-done
 
+	// Drain sampled traces before any teardown (the wal path closes the
+	// tree that recorded them).
+	var traces []bwtree.OpTrace
+	if *traceOut != "" {
+		traces = t.PhaseTraces()
+	}
+
 	if failed.Load() {
 		fmt.Println("FAILED: inconsistency detected")
 		os.Exit(1)
@@ -430,6 +456,14 @@ loop:
 		}
 		fmt.Printf("history check: %d ops verified, zero violations\n", checked.Ops())
 	}
+	if *traceOut != "" {
+		traces = append(traces, t.PhaseTraces()...)
+		if err := writeTraceFile(*traceOut, traces); err != nil {
+			fmt.Printf("FAILED: write trace: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("wrote %d sampled op traces to %s (load in chrome://tracing or ui.perfetto.dev)", len(traces), *traceOut)
+	}
 	st := t.Stats()
 	fmt.Printf("PASS: %d ops, %d aborts (%.2f%%), %d splits, %d merges, final count %d\n",
 		ops.Load(), st.Aborts, st.AbortRate()*100, st.Splits, st.Merges, t.Count())
@@ -439,6 +473,19 @@ loop:
 				class, m["count"], m["p50_us"], m["p99_us"], m["p999_us"])
 		}
 	}
+}
+
+// writeTraceFile renders the sampled traces as Chrome trace-event JSON.
+func writeTraceFile(path string, traces []bwtree.OpTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bwtree.WriteChromeTrace(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // reportCrash distinguishes the expected simulated-crash error from a

@@ -21,11 +21,14 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/bwtree"
+	"repro/internal/obs"
 )
 
 var jsonOut bool
@@ -61,6 +64,17 @@ func main() {
 	}
 
 	opts := bwtree.DefaultOptions()
+	if len(args) > 0 && args[0] == "trace" {
+		// The trace subcommand needs phase sampling compiled into the
+		// tree it is about to exercise. The period is coprime to the
+		// 4-op workload cycle so every op class gets sampled.
+		opts.PhaseSampleEvery = 7
+		opts.PhaseTraceBuffer = 1 << 14
+		opts.FlightRecorderSize = 256
+		if load == 0 {
+			load = 50_000
+		}
+	}
 	t := bwtree.New(opts)
 	defer t.Close()
 	s := t.NewSession()
@@ -104,8 +118,30 @@ func main() {
 				fmt.Fprintf(os.Stderr, "bwtree-cli: restore: %v\n", err)
 				os.Exit(1)
 			}
+		case "trace":
+			if len(args) > 2 {
+				fmt.Fprintln(os.Stderr, "usage: bwtree-cli [-load n] trace [file]")
+				os.Exit(2)
+			}
+			out := ""
+			if len(args) == 2 {
+				out = args[1]
+			}
+			if err := runTrace(t, s, load, out); err != nil {
+				fmt.Fprintf(os.Stderr, "bwtree-cli: trace: %v\n", err)
+				os.Exit(1)
+			}
+		case "promcheck":
+			if len(args) != 2 {
+				fmt.Fprintln(os.Stderr, "usage: bwtree-cli promcheck <url|file|->")
+				os.Exit(2)
+			}
+			if err := runPromCheck(args[1]); err != nil {
+				fmt.Fprintf(os.Stderr, "bwtree-cli: promcheck: %v\n", err)
+				os.Exit(1)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "bwtree-cli: unknown subcommand %q (stats, shape, snapshot, restore)\n", args[0])
+			fmt.Fprintf(os.Stderr, "bwtree-cli: unknown subcommand %q (stats, shape, snapshot, restore, trace, promcheck)\n", args[0])
 			os.Exit(2)
 		}
 		return
@@ -124,7 +160,7 @@ func main() {
 }
 
 func usage(w *os.File) {
-	fmt.Fprint(w, `usage: bwtree-cli [-json] [-load n] [stats|shape|snapshot <dir>|restore <dir>]
+	fmt.Fprint(w, `usage: bwtree-cli [-json] [-load n] [stats|shape|snapshot <dir>|restore <dir>|trace [file]|promcheck <src>]
 
 With a subcommand, runs it and exits (use -load to populate the tree
 first). Without one, starts an interactive shell.
@@ -134,7 +170,84 @@ first). Without one, starts an interactive shell.
   snapshot <dir>  checkpoint the tree into a fresh <dir> (snapshot + manifest)
   restore <dir>   recover the durable state in <dir>, validate it, and
                   print recovery statistics
+  trace [file]    run a mixed workload with phase sampling on and write
+                  the Chrome trace-event JSON to file (default stdout);
+                  load it in chrome://tracing or ui.perfetto.dev
+  promcheck <src> parse Prometheus text from a URL, file, or - (stdin)
+                  and verify it is well-formed (exit 1 if not)
 `)
+}
+
+// runTrace exercises the tree with a mixed single-op workload (the -load
+// preload already ran sampled inserts), then renders every sampled phase
+// trace as Chrome trace-event JSON.
+func runTrace(t *bwtree.Tree, s *bwtree.Session, load int, outPath string) error {
+	key := make([]byte, 8)
+	var out []uint64
+	for i := 0; i < load; i++ {
+		binary.BigEndian.PutUint64(key, uint64(i))
+		switch i % 4 {
+		case 0:
+			s.Update(key, uint64(i)*2)
+		case 1:
+			out = s.Lookup(key, out[:0])
+		case 2:
+			s.Delete(key, 0)
+		default:
+			s.Scan(key, 16, func([]byte, uint64) bool { return true })
+		}
+	}
+	traces := t.PhaseTraces()
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := bwtree.WriteChromeTrace(w, traces); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bwtree-cli: wrote %d sampled op traces\n", len(traces))
+	if len(traces) == 0 {
+		return fmt.Errorf("no traces sampled (is -load too small?)")
+	}
+	return nil
+}
+
+// runPromCheck validates Prometheus exposition text fetched from a URL,
+// read from a file, or piped on stdin ("-").
+func runPromCheck(src string) error {
+	var r io.Reader
+	switch {
+	case src == "-":
+		r = os.Stdin
+	case strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://"):
+		resp, err := http.Get(src)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: HTTP %s", src, resp.Status)
+		}
+		r = resp.Body
+	default:
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	n, err := obs.ParsePrometheus(r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prometheus ok: %d samples\n", n)
+	return nil
 }
 
 // runRestore recovers a durable directory, validates the tree, and

@@ -47,8 +47,9 @@ func indexByName(name string) (index.Index, error) {
 }
 
 // indexByNameObs is indexByName with the Bw-Tree variants rebuilt with
-// latency histograms and SMO tracing enabled, for -debug-addr runs.
-func indexByNameObs(name string) (index.Index, error) {
+// latency histograms, SMO tracing, phase sampling, and the flight
+// recorder enabled, for -debug-addr and -trace-out runs.
+func indexByNameObs(name string, phaseSample int) (index.Index, error) {
 	var opts core.Options
 	var report string
 	switch strings.ToLower(name) {
@@ -61,6 +62,10 @@ func indexByNameObs(name string) (index.Index, error) {
 	}
 	opts.LatencyHistograms = true
 	opts.TraceRingSize = 1024
+	opts.PhaseSampleEvery = phaseSample
+	opts.PhaseTraceBuffer = 4096
+	opts.FlightRecorderSize = 512
+	opts.FlightLatencyThreshold = 250 * time.Millisecond
 	return index.NewBwTreeWith(report, opts), nil
 }
 
@@ -76,12 +81,14 @@ func main() {
 	threads := flag.Int("threads", 1, "worker goroutines")
 	batch := flag.Int("batch", 0, "flush INSERT/READ lines through the batch API in windows of this size (0 = single-op)")
 	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address (Bw-Tree indexes only)")
+	traceOut := flag.String("trace-out", "", "write sampled per-op phase traces as Chrome trace-event JSON to this file (Bw-Tree indexes only)")
+	phaseSample := flag.Int("phase-sample", 64, "with -trace-out or -debug-addr: sample one op in N for phase tracing")
 	flag.Parse()
 
 	var idx index.Index
 	var err error
-	if *debugAddr != "" {
-		idx, err = indexByNameObs(*idxName)
+	if *debugAddr != "" || *traceOut != "" {
+		idx, err = indexByNameObs(*idxName, *phaseSample)
 	} else {
 		idx, err = indexByName(*idxName)
 	}
@@ -183,6 +190,22 @@ func main() {
 				fmt.Printf("  %-7s n=%-10.0f p50=%7.2fus p90=%7.2fus p99=%7.2fus p99.9=%7.2fus\n",
 					class, m["count"], m["p50_us"], m["p90_us"], m["p99_us"], m["p999_us"])
 			}
+		}
+		if *traceOut != "" {
+			traces := bw.Tree().PhaseTraces()
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = bwtree.WriteChromeTrace(f, traces)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ycsbreplay: trace-out:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d sampled op traces to %s (open in chrome://tracing or ui.perfetto.dev)\n",
+				len(traces), *traceOut)
 		}
 	}
 }

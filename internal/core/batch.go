@@ -116,6 +116,9 @@ func (s *Session) batchSeekLeaf(key []byte, tr *traversal) bool {
 		if head := s.t.load(tr.id); head != nil && headCovers(head, key) {
 			tr.head = head
 			s.leafHits++
+			if deepProbes {
+				s.probe.NoteChain(uint32(head.depth))
+			}
 			return true
 		}
 		if p := tr.parentHead; p != nil && tr.parentID != invalidNode && parentCovers(p, key) {
@@ -123,12 +126,15 @@ func (s *Session) batchSeekLeaf(key []byte, tr *traversal) bool {
 				if chead := s.t.load(child); chead != nil && headCovers(chead, key) {
 					tr.id, tr.head = child, chead
 					s.parentHits++
+					if deepProbes {
+						s.probe.NoteChain(uint32(chead.depth))
+					}
 					return true
 				}
 			}
 		}
 	}
-	if !s.descend(key, tr) {
+	if !s.descendProbed(key, tr) {
 		tr.id, tr.parentID, tr.parentHead = invalidNode, invalidNode, nil
 		return false
 	}
@@ -148,10 +154,20 @@ func (s *Session) batchRefresh(n int, tr *traversal) {
 
 // opLat records one per-operation latency when histograms are enabled.
 // Inside a batch this replaces opDone: op counting and counter flushes are
-// amortized into batchDone.
+// amortized into batchDone. The probe OpEnd balances the OpBegin issued
+// by the per-op opStart — it nests inside the batch-level begin, so it
+// only decrements the nest counter (the batch-level OpEnd in batchDone
+// finalizes the flight entry / sampled trace).
 func (s *Session) opLat(c obs.OpClass, start int64) {
+	if s.lat == nil && (!deepProbes || s.probe == nil) {
+		return
+	}
+	end := obs.Now()
 	if s.lat != nil {
-		s.lat.Record(c, obs.Now()-start)
+		s.lat.Record(c, end-start)
+	}
+	if deepProbes && s.probe != nil {
+		s.probe.OpEnd(c, start, end-start)
 	}
 }
 
@@ -172,8 +188,15 @@ func (s *Session) batchDone(n int, start int64) {
 		s.parentHits = 0
 		s.stats.batchParentHits.Add(c)
 	}
+	if s.lat == nil && (!deepProbes || s.probe == nil) {
+		return
+	}
+	end := obs.Now()
 	if s.lat != nil {
-		s.lat.Record(obs.OpBatch, obs.Now()-start)
+		s.lat.Record(obs.OpBatch, end-start)
+	}
+	if deepProbes && s.probe != nil {
+		s.probe.OpEnd(obs.OpBatch, start, end-start)
 	}
 }
 
@@ -239,7 +262,7 @@ func (s *Session) insertOne(tr *traversal, key []byte, value uint64) bool {
 			continue
 		}
 		if s.t.opts.NonUnique {
-			r := s.leafSeekPair(tr.head, key, value)
+			r := s.leafSeekPairProbed(tr.head, key, value)
 			if r.found {
 				return false
 			}
@@ -247,7 +270,7 @@ func (s *Session) insertOne(tr *traversal, key []byte, value uint64) bool {
 				return true
 			}
 		} else {
-			r := s.leafSeek(tr.head, key)
+			r := s.leafSeekProbed(tr.head, key)
 			if r.found {
 				return false
 			}
@@ -302,7 +325,7 @@ func (s *Session) deleteOne(tr *traversal, key []byte, value uint64) bool {
 			continue
 		}
 		if s.t.opts.NonUnique {
-			r := s.leafSeekPair(tr.head, key, value)
+			r := s.leafSeekPairProbed(tr.head, key, value)
 			if !r.found {
 				return false
 			}
@@ -310,7 +333,7 @@ func (s *Session) deleteOne(tr *traversal, key []byte, value uint64) bool {
 				return true
 			}
 		} else {
-			r := s.leafSeek(tr.head, key)
+			r := s.leafSeekProbed(tr.head, key)
 			if !r.found {
 				return false
 			}
@@ -378,10 +401,10 @@ func (s *Session) lookupOne(tr *traversal, key []byte, out []uint64) []uint64 {
 			continue
 		}
 		if s.t.opts.NonUnique {
-			out, _ = s.collectValues(tr.head, key, out)
+			out, _ = s.collectValuesProbed(tr.head, key, out)
 			return out
 		}
-		r := s.leafSeek(tr.head, key)
+		r := s.leafSeekProbed(tr.head, key)
 		if r.found {
 			return append(out, r.value)
 		}

@@ -53,8 +53,17 @@ func (s *Session) consolidate(tr *traversal, head *delta) {
 
 // consolidateID replays head's chain into a fresh base node and publishes
 // it (§2.3). Oversized results split (Appendix A.1); undersized results
-// trigger a merge when the parent is known (Appendix A.2).
+// trigger a merge when the parent is known (Appendix A.2). The
+// PhaseConsolidate span captures consolidation work stolen by a sampled
+// foreground operation (there is no background consolidator — all SMO
+// work is cooperative).
 func (s *Session) consolidateID(id nodeID, head *delta, parentID nodeID, parentHead *delta) {
+	t0 := s.phStart()
+	s.consolidateIDInner(id, head, parentID, parentHead)
+	s.phEnd(obs.PhaseConsolidate, t0, uint64(head.depth))
+}
+
+func (s *Session) consolidateIDInner(id nodeID, head *delta, parentID nodeID, parentHead *delta) {
 	switch head.kind {
 	case kRemove, kAbort:
 		return

@@ -72,11 +72,13 @@ func (it *Iterator) loadNode(key []byte) bool {
 	spins := 0
 	for {
 		var tr traversal
-		if !s.descend(key, &tr) {
+		if !s.descendProbed(key, &tr) {
 			s.abortBackoff(&spins)
 			continue
 		}
+		t0 := s.phStart()
 		c := s.collect(tr.head)
+		s.phEnd(obs.PhaseChainWalk, t0, uint64(tr.head.depth))
 		it.keys, it.vals = c.keys, c.vals
 		it.lowKey, it.highKey = tr.head.lowKey, tr.head.highKey
 		return true

@@ -1,6 +1,10 @@
 package core
 
-import "bytes"
+import (
+	"bytes"
+
+	"repro/internal/obs"
+)
 
 // seekResult is the outcome of a unique-key leaf chain replay.
 type seekResult struct {
@@ -85,7 +89,9 @@ func (s *Session) leafSeek(head *delta, key []byte) seekResult {
 			if shortcuts {
 				l, h = clampWindow(lo, hi, n)
 			}
+			t0 := s.phStart()
 			pos, exact := d.baseSearchRange(key, l, h)
+			s.phEnd(obs.PhaseBaseSearch, t0, uint64(h-l))
 			if exact {
 				return seekResult{found: true, value: d.vals[pos], baseOff: int32(pos)}
 			}
@@ -104,6 +110,32 @@ func (s *Session) leafSeek(head *delta, key []byte) seekResult {
 		s.chases++
 		d = d.next
 	}
+}
+
+// leafSeekProbed wraps leafSeek with a PhaseChainWalk span carrying the
+// chain depth walked; the base search inside records its own nested
+// PhaseBaseSearch span. Disabled cost: one nil check per call.
+func (s *Session) leafSeekProbed(head *delta, key []byte) seekResult {
+	t0 := s.phStart()
+	r := s.leafSeek(head, key)
+	s.phEnd(obs.PhaseChainWalk, t0, uint64(head.depth))
+	return r
+}
+
+// leafSeekPairProbed is leafSeekProbed for the exact-pair replay.
+func (s *Session) leafSeekPairProbed(head *delta, key []byte, value uint64) seekResult {
+	t0 := s.phStart()
+	r := s.leafSeekPair(head, key, value)
+	s.phEnd(obs.PhaseChainWalk, t0, uint64(head.depth))
+	return r
+}
+
+// collectValuesProbed is leafSeekProbed for the non-unique full replay.
+func (s *Session) collectValuesProbed(head *delta, key []byte, out []uint64) ([]uint64, int32) {
+	t0 := s.phStart()
+	res, baseOff := s.collectValues(head, key, out)
+	s.phEnd(obs.PhaseChainWalk, t0, uint64(head.depth))
+	return res, baseOff
 }
 
 // clampWindow converts inclusive insertion-point bounds into a valid

@@ -85,6 +85,26 @@ type Options struct {
 	// consolidate/abort/epoch-advance events, drained tree-wide in
 	// sequence order by Tree.TraceEvents. Zero disables tracing.
 	TraceRingSize int
+	// PhaseSampleEvery, when positive, phase-samples every Nth operation
+	// per session: the sampled op records a span per hot-path phase
+	// (descend, chain walk, base search, CaS, consolidation, WAL append,
+	// fsync wait) into a fixed per-session ring, drained by
+	// Tree.PhaseTraces for Chrome-trace export. Zero disables sampling.
+	// Disabled cost is one nil check per probe (see probes_on.go).
+	PhaseSampleEvery int
+	// PhaseTraceBuffer is the per-session capacity of the sampled-trace
+	// ring (default 256 when sampling is enabled).
+	PhaseTraceBuffer int
+	// FlightRecorderSize, when positive, gives each session a ring of
+	// the most recent operation summaries (class, latency, observed
+	// chain depth, CaS retries, aborts) — the always-on flight recorder.
+	// The ring is dumped automatically on anomaly (latency over
+	// FlightLatencyThreshold, chain depth over the consolidation
+	// trigger) and on demand via Tree.FlightRecent or /debug/flightrec.
+	FlightRecorderSize int
+	// FlightLatencyThreshold is the per-op latency beyond which the
+	// flight recorder auto-dumps; zero disables the latency trigger.
+	FlightLatencyThreshold time.Duration
 
 	// GC selects the garbage-collection scheme.
 	GC GCScheme
@@ -173,6 +193,18 @@ func (o *Options) sanitize() {
 	}
 	if o.TraceRingSize < 0 {
 		o.TraceRingSize = 0
+	}
+	if o.PhaseSampleEvery < 0 {
+		o.PhaseSampleEvery = 0
+	}
+	if o.PhaseTraceBuffer < 0 {
+		o.PhaseTraceBuffer = 0
+	}
+	if o.FlightRecorderSize < 0 {
+		o.FlightRecorderSize = 0
+	}
+	if o.FlightLatencyThreshold < 0 {
+		o.FlightLatencyThreshold = 0
 	}
 	// In-place leaf updates (Fig. 18 debug mode) mutate base keys
 	// directly, which the immutable flat arena cannot support.

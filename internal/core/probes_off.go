@@ -1,0 +1,8 @@
+//go:build notrace
+
+package core
+
+// deepProbes is false under -tags notrace: every deep-path tracing probe
+// becomes dead code and is eliminated by the compiler. This build is the
+// reference point for the obs-overhead bench gate; see probes_on.go.
+const deepProbes = false

@@ -1,0 +1,11 @@
+//go:build !notrace
+
+package core
+
+// deepProbes gates every deep-path tracing probe in the hot path. The
+// default build compiles them in (each one costs a single nil check when
+// tracing is disabled at runtime); building with -tags notrace sets this
+// to false so the compiler eliminates the probes entirely. The
+// obs-overhead bench gate compares the two builds to enforce the <2%
+// disabled-mode budget.
+const deepProbes = true

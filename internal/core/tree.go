@@ -34,6 +34,10 @@ type Tree struct {
 	// gcRing receives epoch-advance events from the GC goroutine.
 	tracer *obs.Tracer
 	gcRing *obs.Ring
+	// deep owns the deep-path tracing state (sampled phase traces and
+	// the flight recorder) when Options.PhaseSampleEvery or
+	// Options.FlightRecorderSize is set; nil otherwise.
+	deep *obs.Deep
 
 	mu        sync.Mutex // guards sessions registry (cold path)
 	sessions  map[*Session]struct{}
@@ -71,6 +75,18 @@ func New(opts Options) *Tree {
 		t.gcRing = t.tracer.Ring()
 		t.gc.SetAdvanceHook(func(e uint64) {
 			t.gcRing.Emit(obs.EvEpochAdvance, 0, e, 0)
+		})
+	}
+	if opts.PhaseSampleEvery > 0 || opts.FlightRecorderSize > 0 {
+		t.deep = obs.NewDeep(obs.DeepConfig{
+			SampleEvery:      opts.PhaseSampleEvery,
+			TraceBuf:         opts.PhaseTraceBuffer,
+			FlightBuf:        opts.FlightRecorderSize,
+			LatencyAnomalyNS: int64(opts.FlightLatencyThreshold),
+			// An op can legitimately observe a chain right at the
+			// consolidation trigger; strictly deeper means consolidation
+			// is losing its publish race repeatedly — worth a dump.
+			ChainAnomaly: opts.LeafChainLength,
 		})
 	}
 
@@ -165,6 +181,12 @@ type Session struct {
 	lat *obs.Recorder
 	// trace is the session's event ring when tracing is enabled.
 	trace *obs.Ring
+	// probe is the session's deep-path tracing probe (sampled phase
+	// spans + flight recorder) when the tree was built with
+	// PhaseSampleEvery or FlightRecorderSize; nil otherwise. Every use
+	// is additionally gated by the deepProbes build-tag constant so
+	// -tags notrace builds compile the probes out entirely.
+	probe *obs.Probe
 
 	// leafHits/parentHits batch the traversal-cache hit counters the same
 	// way chases batches pointer dereferences; flushed by batchDone.
@@ -232,6 +254,9 @@ func (t *Tree) NewSession() *Session {
 	if t.tracer != nil {
 		s.trace = t.tracer.Ring()
 	}
+	if deepProbes && t.deep != nil {
+		s.probe = t.deep.Probe()
+	}
 	t.mu.Lock()
 	t.sessions[s] = struct{}{}
 	t.mu.Unlock()
@@ -259,12 +284,21 @@ func (s *Session) Release() {
 		s.t.tracer.Release(s.trace)
 		s.trace = nil
 	}
+	if deepProbes && s.probe != nil {
+		s.t.deep.Release(s.probe)
+		s.probe = nil
+	}
 	s.t.hpool.Put(s.h)
 }
 
-// opStart returns the operation start timestamp, or 0 when latency
-// histograms are disabled (the common case: one nil check).
+// opStart returns the operation start timestamp, or 0 when neither
+// latency histograms nor deep-path tracing is enabled (the common case:
+// two predictable nil checks, no clock read).
 func (s *Session) opStart() int64 {
+	if deepProbes && s.probe != nil {
+		s.probe.OpBegin()
+		return obs.Now()
+	}
 	if s.lat == nil {
 		return 0
 	}
@@ -272,15 +306,43 @@ func (s *Session) opStart() int64 {
 }
 
 // opDone closes out one public operation: it counts the op, flushes the
-// batched pointer-chase counter, and records the latency when enabled.
+// batched pointer-chase counter, records the latency when enabled, and
+// finalizes the deep-path probe (flight-recorder entry, sampled phase
+// trace, anomaly checks).
 func (s *Session) opDone(c obs.OpClass, start int64) {
 	s.stats.ops.Add(1)
 	if n := s.chases; n != 0 {
 		s.chases = 0
 		s.stats.pointerChases.Add(n)
 	}
+	if s.lat == nil && (!deepProbes || s.probe == nil) {
+		return
+	}
+	end := obs.Now()
 	if s.lat != nil {
-		s.lat.Record(c, obs.Now()-start)
+		s.lat.Record(c, end-start)
+	}
+	if deepProbes && s.probe != nil {
+		s.probe.OpEnd(c, start, end-start)
+	}
+}
+
+// phStart returns a span start timestamp when this operation was chosen
+// for phase sampling, else 0. Cost when not sampling: one nil check and
+// one bool load — no clock read.
+func (s *Session) phStart() int64 {
+	if deepProbes && s.probe.Active() {
+		return obs.Now()
+	}
+	return 0
+}
+
+// phEnd records one phase span for a sampled operation. t0 is the value
+// phStart returned; zero means the op is not sampled and the call is a
+// single branch.
+func (s *Session) phEnd(ph obs.Phase, t0 int64, arg uint64) {
+	if deepProbes && t0 != 0 {
+		s.probe.Span(ph, t0, arg)
 	}
 }
 
@@ -408,4 +470,90 @@ func (t *Tree) TraceDropped() uint64 {
 		return 0
 	}
 	return t.tracer.Dropped()
+}
+
+// PhaseTraces drains the sampled per-op phase traces from every session,
+// ordered by completion sequence. Returns nil unless the tree was built
+// with Options.PhaseSampleEvery > 0 (or under -tags notrace). Draining
+// is destructive: each trace is returned once.
+func (t *Tree) PhaseTraces() []obs.OpTrace {
+	if !deepProbes || t.deep == nil {
+		return nil
+	}
+	return t.deep.Traces()
+}
+
+// PhaseTraceDropped returns how many sampled phase traces were lost to
+// ring wraparound before they could be drained.
+func (t *Tree) PhaseTraceDropped() uint64 {
+	if !deepProbes || t.deep == nil {
+		return 0
+	}
+	return t.deep.TracesDropped()
+}
+
+// FlightRecent returns up to n of the most recent operation summaries
+// from the flight recorder, oldest first, merged across sessions by
+// completion sequence. Non-destructive. Returns nil unless the tree was
+// built with Options.FlightRecorderSize > 0. n <= 0 means no limit.
+func (t *Tree) FlightRecent(n int) []obs.OpSummary {
+	if !deepProbes || t.deep == nil {
+		return nil
+	}
+	return t.deep.Flight(n)
+}
+
+// ChainDepths returns the distribution of delta-chain depths observed by
+// completed operations (one observation per op: the deepest chain it
+// walked). Zero-valued snapshot unless deep-path tracing is enabled.
+func (t *Tree) ChainDepths() obs.HistSnapshot {
+	if !deepProbes || t.deep == nil {
+		return obs.HistSnapshot{}
+	}
+	return t.deep.ChainDepths()
+}
+
+// SetAnomalySink replaces the flight recorder's anomaly handler (the
+// default logs a compact line to stderr). Pass nil to restore the
+// default. No-op unless deep-path tracing is enabled.
+func (t *Tree) SetAnomalySink(sink obs.AnomalySink) {
+	if !deepProbes || t.deep == nil {
+		return
+	}
+	t.deep.SetAnomalySink(sink)
+}
+
+// AnomalyNote force-dumps the flight recorder with the given reason,
+// bypassing the anomaly rate limit. Used by the durability layer to mark
+// recovery starts. No-op unless deep-path tracing is enabled.
+func (t *Tree) AnomalyNote(reason string) {
+	if !deepProbes || t.deep == nil {
+		return
+	}
+	t.deep.Note(reason)
+}
+
+// Anomalies returns the number of anomaly dumps emitted so far.
+func (t *Tree) Anomalies() uint64 {
+	if !deepProbes || t.deep == nil {
+		return 0
+	}
+	return t.deep.Anomalies()
+}
+
+// MappingStats reports mapping-table occupancy (allocated, free-listed,
+// live logical node IDs against total capacity).
+func (t *Tree) MappingStats() mapping.TableStats {
+	return t.mt.Stats()
+}
+
+// Probe exposes the session's deep-path probe so outer layers (the
+// durability façade) can attach WAL-append and fsync-wait spans to the
+// same sampled operation. Returns nil when tracing is disabled or under
+// -tags notrace; *obs.Probe methods are nil-receiver-safe.
+func (s *Session) Probe() *obs.Probe {
+	if !deepProbes {
+		return nil
+	}
+	return s.probe
 }

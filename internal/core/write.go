@@ -14,10 +14,28 @@ import (
 func (s *Session) abortBackoff(spins *int) {
 	s.stats.aborts.Add(1)
 	s.emit(obs.EvAbort, 0, 0, 0)
+	if deepProbes {
+		s.probe.NoteAbort()
+	}
 	*spins++
 	if *spins > 2 {
 		runtime.Gosched()
 	}
+}
+
+// descendProbed is descend plus the deep-path probes: a PhaseDescend span
+// when this op is phase-sampled, and the observed chain depth of the leaf
+// it lands on (feeds the flight recorder and the chain-depth
+// distribution). Disabled cost over plain descend: two predictable
+// branches.
+func (s *Session) descendProbed(key []byte, tr *traversal) bool {
+	t0 := s.phStart()
+	ok := s.descend(key, tr)
+	s.phEnd(obs.PhaseDescend, t0, 0)
+	if deepProbes && ok {
+		s.probe.NoteChain(uint32(tr.head.depth))
+	}
+	return ok
 }
 
 // cloneKey copies k so the tree never retains caller-owned memory.
@@ -60,10 +78,16 @@ func (s *Session) appendLeaf(tr *traversal, k kind, key []byte, value, oldValue 
 	d.oldValue = oldValue
 	d.size = head.size + sizeDelta
 	d.offset = off
+	t0 := s.phStart()
 	if !s.t.cas(tr.id, head, d) {
+		s.phEnd(obs.PhaseCAS, t0, 1)
 		s.stats.casFailures.Add(1)
+		if deepProbes {
+			s.probe.NoteCASFail()
+		}
 		return false
 	}
+	s.phEnd(obs.PhaseCAS, t0, 0)
 	s.maybeConsolidateTr(tr, d)
 	return true
 }
@@ -79,7 +103,7 @@ func (s *Session) Insert(key []byte, value uint64) bool {
 	spins := 0
 	for {
 		var tr traversal
-		if !s.descend(key, &tr) {
+		if !s.descendProbed(key, &tr) {
 			s.abortBackoff(&spins)
 			continue
 		}
@@ -92,7 +116,7 @@ func (s *Session) Insert(key []byte, value uint64) bool {
 			continue
 		}
 		if s.t.opts.NonUnique {
-			r := s.leafSeekPair(tr.head, key, value)
+			r := s.leafSeekPairProbed(tr.head, key, value)
 			if r.found {
 				return false
 			}
@@ -100,7 +124,7 @@ func (s *Session) Insert(key []byte, value uint64) bool {
 				return true
 			}
 		} else {
-			r := s.leafSeek(tr.head, key)
+			r := s.leafSeekProbed(tr.head, key)
 			if r.found {
 				return false
 			}
@@ -122,7 +146,7 @@ func (s *Session) Delete(key []byte, value uint64) bool {
 	spins := 0
 	for {
 		var tr traversal
-		if !s.descend(key, &tr) {
+		if !s.descendProbed(key, &tr) {
 			s.abortBackoff(&spins)
 			continue
 		}
@@ -135,7 +159,7 @@ func (s *Session) Delete(key []byte, value uint64) bool {
 			continue
 		}
 		if s.t.opts.NonUnique {
-			r := s.leafSeekPair(tr.head, key, value)
+			r := s.leafSeekPairProbed(tr.head, key, value)
 			if !r.found {
 				return false
 			}
@@ -143,7 +167,7 @@ func (s *Session) Delete(key []byte, value uint64) bool {
 				return true
 			}
 		} else {
-			r := s.leafSeek(tr.head, key)
+			r := s.leafSeekProbed(tr.head, key)
 			if !r.found {
 				return false
 			}
@@ -167,7 +191,7 @@ func (s *Session) Update(key []byte, value uint64) bool {
 	spins := 0
 	for {
 		var tr traversal
-		if !s.descend(key, &tr) {
+		if !s.descendProbed(key, &tr) {
 			s.abortBackoff(&spins)
 			continue
 		}
@@ -180,7 +204,7 @@ func (s *Session) Update(key []byte, value uint64) bool {
 			}
 			old, off = r.value, r.baseOff
 			if old != value {
-				if nr := s.leafSeekPair(tr.head, key, value); nr.found {
+				if nr := s.leafSeekPairProbed(tr.head, key, value); nr.found {
 					// The replacement pair already exists: an update delta
 					// would create a duplicate, so reduce to a delete of
 					// the old pair.
@@ -192,7 +216,7 @@ func (s *Session) Update(key []byte, value uint64) bool {
 				}
 			}
 		} else {
-			r := s.leafSeek(tr.head, key)
+			r := s.leafSeekProbed(tr.head, key)
 			if !r.found {
 				return false
 			}
@@ -218,18 +242,18 @@ func (s *Session) UpdateValue(key []byte, oldValue, newValue uint64) bool {
 	spins := 0
 	for {
 		var tr traversal
-		if !s.descend(key, &tr) {
+		if !s.descendProbed(key, &tr) {
 			s.abortBackoff(&spins)
 			continue
 		}
-		r := s.leafSeekPair(tr.head, key, oldValue)
+		r := s.leafSeekPairProbed(tr.head, key, oldValue)
 		if !r.found {
 			return false
 		}
 		if oldValue == newValue {
 			return true
 		}
-		if nr := s.leafSeekPair(tr.head, key, newValue); nr.found {
+		if nr := s.leafSeekPairProbed(tr.head, key, newValue); nr.found {
 			// The target pair already exists: reduce to a delete of the
 			// old pair.
 			if s.appendLeaf(&tr, kLeafDelete, key, oldValue, 0, -1, r.baseOff) {
@@ -252,15 +276,15 @@ func (s *Session) Lookup(key []byte, out []uint64) []uint64 {
 	spins := 0
 	for {
 		var tr traversal
-		if !s.descend(key, &tr) {
+		if !s.descendProbed(key, &tr) {
 			s.abortBackoff(&spins)
 			continue
 		}
 		if s.t.opts.NonUnique {
-			out, _ = s.collectValues(tr.head, key, out)
+			out, _ = s.collectValuesProbed(tr.head, key, out)
 			return out
 		}
-		r := s.leafSeek(tr.head, key)
+		r := s.leafSeekProbed(tr.head, key)
 		if r.found {
 			return append(out, r.value)
 		}

@@ -16,8 +16,10 @@ import (
 // current epoch on entry/exit — the cache-coherence hot spot that limits
 // its scalability.
 type Centralized struct {
-	current  atomic.Pointer[centralEpoch]
-	oldest   *centralEpoch // advanced only by the background goroutine
+	current atomic.Pointer[centralEpoch]
+	// oldest is advanced only by the background goroutine but read
+	// concurrently by Stats (epoch-lag gauge), hence atomic.
+	oldest   atomic.Pointer[centralEpoch]
 	interval time.Duration
 	stop     chan struct{}
 	done     chan struct{}
@@ -82,7 +84,7 @@ func NewCentralized(interval time.Duration) *Centralized {
 	}
 	e := &centralEpoch{}
 	c.current.Store(e)
-	c.oldest = e
+	c.oldest.Store(e)
 	go c.run()
 	return c
 }
@@ -115,9 +117,9 @@ func (c *Centralized) advance() {
 	// Reclaim every leading epoch whose counter has drained. An epoch may
 	// only be reclaimed once it is no longer current (threads can no
 	// longer enroll) and its active count is zero.
-	for c.oldest != cur && c.oldest.active.Load() == 0 {
-		c.stats.reclaimed.Add(c.oldest.garbage.drain())
-		c.oldest = c.oldest.next.Load()
+	for e := c.oldest.Load(); e != cur && e.active.Load() == 0; e = c.oldest.Load() {
+		c.stats.reclaimed.Add(e.garbage.drain())
+		c.oldest.Store(e.next.Load())
 	}
 }
 
@@ -130,7 +132,7 @@ func (c *Centralized) Close() {
 		close(c.stop)
 		<-c.done
 		// Final sweep: everything is quiescent by contract.
-		for e := c.oldest; e != nil; e = e.next.Load() {
+		for e := c.oldest.Load(); e != nil; e = e.next.Load() {
 			c.stats.reclaimed.Add(e.garbage.drain())
 		}
 	})
@@ -147,11 +149,21 @@ func (c *Centralized) SetAdvanceHook(fn func(uint64)) {
 
 // Stats implements GC.
 func (c *Centralized) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Retired:   c.stats.retired.Load(),
 		Reclaimed: c.stats.reclaimed.Load(),
 		Advances:  c.stats.advances.Load(),
 	}
+	// Reclamation lag: epochs installed but not yet drained, oldest to
+	// current. The walk races with advance(), so the count is
+	// gauge-grade; the list is at most a few entries long unless a
+	// worker is stuck inside an old epoch. Bounded defensively in case a
+	// torn walk observes an in-progress append.
+	cur := c.current.Load()
+	for e := c.oldest.Load(); e != nil && e != cur && st.EpochLag < 1<<20; e = e.next.Load() {
+		st.EpochLag++
+	}
+	return st
 }
 
 type centralHandle struct {

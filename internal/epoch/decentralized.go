@@ -165,11 +165,19 @@ func (d *Decentralized) SetAdvanceHook(fn func(uint64)) {
 
 // Stats implements GC.
 func (d *Decentralized) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Retired:   d.stats.retired.Load(),
 		Reclaimed: d.stats.reclaimed.Load(),
 		Advances:  d.stats.advances.Load(),
 	}
+	// Reclamation lag: how many epochs the slowest in-flight worker
+	// trails the global counter. Idle workers report idleEpoch and never
+	// constrain the minimum, so an idle tree reads 0.
+	g := d.global.Load()
+	if min := d.minLocal(); min < g {
+		st.EpochLag = g - min
+	}
+	return st
 }
 
 type taggedGarbage struct {

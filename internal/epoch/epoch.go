@@ -83,4 +83,10 @@ type Stats struct {
 	Reclaimed uint64
 	// Advances is the number of epoch advances performed.
 	Advances uint64
+	// EpochLag gauges how far reclamation trails the present: in the
+	// decentralized scheme, global epoch minus the slowest worker's local
+	// epoch (0 when every worker is idle or current); in the centralized
+	// scheme, the number of epoch objects still awaiting drain. A lag
+	// that grows without bound means a stalled worker is pinning garbage.
+	EpochLag uint64
 }

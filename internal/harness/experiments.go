@@ -59,6 +59,7 @@ func Experiments() []Experiment {
 		{"bench-gate", "Benchmark-regression gate: batched vs unbatched hot path, JSON report + baseline check", BenchGate},
 		{"flatnode", "Flat vs slice base-node layout: consolidated Lookup throughput + allocs (gated), read-mostly/scan mixes, JSON report", FlatNode},
 		{"durability", "WAL cost, group-commit shape, and recovery rates, JSON report + gates", Durability},
+		{"obs-overhead", "Observability-overhead gate: disabled probes vs -tags notrace build (<2%), sampled-tracing cost, JSON report", ObsOverhead},
 	}
 }
 

@@ -95,6 +95,15 @@ func TestExperimentsSmoke(t *testing.T) {
 			// And for flatnode: scratch report, no speedup floor.
 			t.Setenv("FLATNODE_GATE_OUT", filepath.Join(t.TempDir(), "BENCH_flatnode.json"))
 			t.Setenv("FLATNODE_GATE_MIN_SPEEDUP", "0")
+			// obs-overhead: scratch report, one short round each, and no
+			// tolerance — tiny scales only smoke the drivers, they cannot
+			// measure a 2% effect.
+			t.Setenv("BENCH_OBS_OUT", filepath.Join(t.TempDir(), "BENCH_obs.json"))
+			t.Setenv("BENCH_OBS_ROUNDS", "1")
+			t.Setenv("BENCH_OBS_INPROC_ROUNDS", "1")
+			t.Setenv("BENCH_OBS_BENCHTIME", "10000x")
+			t.Setenv("BENCH_OBS_TOLERANCE", "1000")
+			t.Setenv("BENCH_OBS_ENABLED_TOLERANCE", "1000")
 			var b strings.Builder
 			e.Run(&b, sc)
 			if !strings.Contains(b.String(), "===") {

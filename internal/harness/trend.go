@@ -1,0 +1,251 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// TrendPoint is one committed snapshot of a benchmark baseline file.
+type TrendPoint struct {
+	Commit  string             `json:"commit"`
+	Date    string             `json:"date"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// TrendSeries is the full committed history of one bench/BENCH_*.json
+// baseline, oldest first, ending with the working-tree state when it
+// differs from the last commit.
+type TrendSeries struct {
+	File   string       `json:"file"`
+	Points []TrendPoint `json:"points"`
+}
+
+// Trend aggregates every committed bench/BENCH_*.json baseline under dir
+// into per-file metric trajectories: one column per commit that touched
+// the file, one row per numeric metric. With jsonOut it emits the series
+// as JSON instead of a table. Non-numeric leaves and the "config" block
+// are skipped — configs describe the run, they aren't results.
+func Trend(w io.Writer, dir string, jsonOut bool) error {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no BENCH_*.json baselines under %s", dir)
+	}
+	sort.Strings(files)
+
+	var all []TrendSeries
+	for _, f := range files {
+		s, err := trendSeries(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		all = append(all, s)
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	}
+	for _, s := range all {
+		writeTrendTable(w, s)
+	}
+	return nil
+}
+
+// trendSeries builds one file's trajectory from git history plus the
+// working tree. Outside a git checkout (or with git missing) it degrades
+// to a single working-tree point.
+func trendSeries(path string) (TrendSeries, error) {
+	s := TrendSeries{File: filepath.Base(path)}
+	for _, rev := range gitRevs(path) {
+		blob, err := gitShow(rev.hash, path)
+		if err != nil {
+			continue // e.g. file renamed; skip the unreadable revision
+		}
+		m, err := flattenMetrics(blob)
+		if err != nil {
+			continue // a malformed historical blob shouldn't kill the report
+		}
+		s.Points = append(s.Points, TrendPoint{Commit: rev.hash[:min(10, len(rev.hash))], Date: rev.date, Metrics: m})
+	}
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	m, err := flattenMetrics(cur)
+	if err != nil {
+		return s, err
+	}
+	if n := len(s.Points); n == 0 || !sameMetrics(s.Points[n-1].Metrics, m) {
+		s.Points = append(s.Points, TrendPoint{Commit: "worktree", Metrics: m})
+	}
+	return s, nil
+}
+
+type trendRev struct{ hash, date string }
+
+// gitRevs lists the commits that touched path, oldest first. Errors
+// (not a repo, no git binary) return nil: the caller falls back to the
+// working tree.
+func gitRevs(path string) []trendRev {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil
+	}
+	cmd := exec.Command("git", "-C", filepath.Dir(abs), "log", "--reverse", "--format=%H %cs", "--", abs)
+	out, err := cmd.Output()
+	if err != nil {
+		return nil
+	}
+	var revs []trendRev
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		h, d, ok := strings.Cut(line, " ")
+		if ok && h != "" {
+			revs = append(revs, trendRev{hash: h, date: d})
+		}
+	}
+	return revs
+}
+
+// gitShow reads path's blob as of the given commit.
+func gitShow(hash, path string) ([]byte, error) {
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(abs)
+	cmd := exec.Command("git", "-C", dir, "rev-parse", "--show-toplevel")
+	top, err := cmd.Output()
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(strings.TrimSpace(string(top)), abs)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Command("git", "-C", dir, "show", hash+":"+filepath.ToSlash(rel)).Output()
+}
+
+// flattenMetrics extracts every numeric leaf of a baseline JSON document
+// as a dotted-path metric, skipping the top-level "config" block.
+func flattenMetrics(blob []byte) (map[string]float64, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return nil, err
+	}
+	delete(doc, "config")
+	m := map[string]float64{}
+	flattenInto(m, "", doc)
+	return m, nil
+}
+
+func flattenInto(m map[string]float64, prefix string, v any) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, sub := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flattenInto(m, p, sub)
+		}
+	case []any:
+		for i, sub := range t {
+			flattenInto(m, fmt.Sprintf("%s[%d]", prefix, i), sub)
+		}
+	case float64:
+		m[prefix] = t
+	}
+}
+
+func sameMetrics(a, b map[string]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// writeTrendTable renders one baseline's trajectory: commits across,
+// metrics down, with a trailing Δ% column comparing last to first.
+func writeTrendTable(w io.Writer, s TrendSeries) {
+	fmt.Fprintf(w, "### %s\n\n", s.File)
+	names := map[string]bool{}
+	for _, p := range s.Points {
+		for k := range p.Metrics {
+			names[k] = true
+		}
+	}
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "metric")
+	for _, p := range s.Points {
+		col := p.Commit
+		if p.Date != "" {
+			col += " (" + p.Date + ")"
+		}
+		fmt.Fprintf(tw, "\t%s", col)
+	}
+	if len(s.Points) > 1 {
+		fmt.Fprint(tw, "\tΔ%")
+	}
+	fmt.Fprintln(tw)
+	for _, k := range keys {
+		fmt.Fprint(tw, k)
+		var first, last float64
+		var haveFirst bool
+		for _, p := range s.Points {
+			if v, ok := p.Metrics[k]; ok {
+				fmt.Fprintf(tw, "\t%s", trendNum(v))
+				if !haveFirst {
+					first, haveFirst = v, true
+				}
+				last = v
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		if len(s.Points) > 1 {
+			if haveFirst && first != 0 {
+				fmt.Fprintf(tw, "\t%+.1f%%", (last-first)/first*100)
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// trendNum formats a metric compactly: integers without decimals, small
+// ratios with enough precision to be meaningful.
+func trendNum(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

@@ -138,6 +138,10 @@ func (t *Table[T]) Hwm() uint64 { return t.next.Load() }
 //     the new owner always observes an empty slot, never a stale pointer.
 type freeList struct {
 	head atomic.Pointer[freeNode]
+	// size tracks the stack length for occupancy reporting. It is bumped
+	// after the publishing CaS, so it momentarily lags the true length —
+	// fine for a gauge, and it keeps push/pop single-CaS.
+	size atomic.Int64
 }
 
 type freeNode struct {
@@ -151,6 +155,7 @@ func (f *freeList) push(id uint64) {
 		h := f.head.Load()
 		n.next = h
 		if f.head.CompareAndSwap(h, n) {
+			f.size.Add(1)
 			return
 		}
 	}
@@ -163,9 +168,45 @@ func (f *freeList) pop() (uint64, bool) {
 			return 0, false
 		}
 		if f.head.CompareAndSwap(h, h.next) {
+			f.size.Add(-1)
 			return h.id, true
 		}
 	}
+}
+
+// len returns the approximate free-list length (never negative).
+func (f *freeList) len() uint64 {
+	if n := f.size.Load(); n > 0 {
+		return uint64(n)
+	}
+	return 0
+}
+
+// TableStats is a point-in-time occupancy snapshot of the mapping table.
+type TableStats struct {
+	// Allocated is the high-water mark: IDs ever handed out, including
+	// ones since recycled.
+	Allocated uint64
+	// Free is the approximate number of recycled IDs awaiting reuse.
+	Free uint64
+	// Live is Allocated - Free: logical node IDs currently in use.
+	Live uint64
+	// Capacity is the table's fixed maximum number of IDs.
+	Capacity uint64
+}
+
+// Stats reports table occupancy. The counters are read independently, so
+// under concurrent churn Live is approximate (gauge-grade, not exact).
+func (t *Table[T]) Stats() TableStats {
+	st := TableStats{
+		Allocated: t.next.Load(),
+		Free:      t.free.len(),
+		Capacity:  SpineSize * ChunkSize,
+	}
+	if st.Allocated > st.Free {
+		st.Live = st.Allocated - st.Free
+	}
+	return st
 }
 
 // MemoryFootprint returns the approximate bytes committed by the table's

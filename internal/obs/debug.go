@@ -31,6 +31,16 @@ type Vars struct {
 	Trace func() []Event
 	// TraceDropped returns the cumulative wraparound-loss count.
 	TraceDropped func() uint64
+	// MetricHists returns histogram feeds rendered as summaries on
+	// /metrics (WAL fsync latency, chain-depth distribution, ...).
+	MetricHists func() []HistFeed
+	// Flight returns the newest n flight-recorder op summaries across
+	// sessions (all when n <= 0), oldest first. Non-destructive; backs
+	// /debug/flightrec.
+	Flight func(n int) []OpSummary
+	// PhaseTraces drains the sampled per-op phase traces (destructive);
+	// /debug/phasetrace serves them as Chrome trace-event JSON.
+	PhaseTraces func() []OpTrace
 }
 
 // expvarHolder lets the process-global expvar name "bwtree" follow the
@@ -181,10 +191,31 @@ func Mux(v Vars, sampler *Sampler) *http.ServeMux {
 		}
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w, v, sampler)
+	})
+	mux.HandleFunc("/debug/flightrec", func(w http.ResponseWriter, r *http.Request) {
+		if v.Flight == nil {
+			http.Error(w, "flight recorder disabled", http.StatusNotFound)
+			return
+		}
+		ops := v.Flight(intQuery(r, "n"))
+		writeJSON(w, map[string]any{"ops": ops, "count": len(ops)})
+	})
+	mux.HandleFunc("/debug/phasetrace", func(w http.ResponseWriter, r *http.Request) {
+		if v.PhaseTraces == nil {
+			http.Error(w, "phase sampling disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		WriteChromeTrace(w, v.PhaseTraces())
+	})
 	mux.HandleFunc("/debug", func(w http.ResponseWriter, r *http.Request) {
 		paths := []string{
 			"/debug/vars", "/debug/stats", "/debug/latency", "/debug/shape",
-			"/debug/trace", "/debug/pprof/",
+			"/debug/trace", "/debug/flightrec", "/debug/phasetrace",
+			"/debug/pprof/", "/metrics",
 		}
 		sort.Strings(paths)
 		w.Header().Set("Content-Type", "text/plain")

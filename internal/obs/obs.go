@@ -1,7 +1,10 @@
 // Package obs is the tree's observability layer: allocation-free
-// log-bucketed latency histograms, a structured SMO/GC event tracer, a
-// counter-delta rate sampler, and a live /debug HTTP surface built from
-// expvar and net/http/pprof.
+// log-bucketed latency histograms, a structured SMO/GC event tracer,
+// sampled per-operation phase traces with an always-on flight recorder
+// (phase.go), Chrome trace-event export (chrometrace.go), a
+// counter-delta rate sampler, and a live /debug + /metrics HTTP surface
+// built from expvar, net/http/pprof, and a Prometheus text renderer
+// (prom.go).
 //
 // The package is stdlib-only and imports nothing from the rest of the
 // module, so every layer (core, epoch, harness, commands) can depend on
@@ -14,7 +17,11 @@
 //     paid only by the reader.
 package obs
 
-import "time"
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
 
 // OpClass partitions public index operations for latency accounting.
 type OpClass uint8
@@ -41,6 +48,30 @@ func (c OpClass) String() string {
 		return opClassNames[c]
 	}
 	return "unknown"
+}
+
+// MarshalJSON renders the class as its name.
+func (c OpClass) MarshalJSON() ([]byte, error) { return json.Marshal(c.String()) }
+
+// UnmarshalJSON accepts a class name (the MarshalJSON form) or a raw
+// numeric value, so flight-recorder dumps round-trip through JSON.
+func (c *OpClass) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err == nil {
+		for i, n := range opClassNames {
+			if n == name {
+				*c = OpClass(i)
+				return nil
+			}
+		}
+		return fmt.Errorf("obs: unknown op class %q", name)
+	}
+	var v uint8
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*c = OpClass(v)
+	return nil
 }
 
 // epoch anchors Now; time.Since reads the monotonic clock.

@@ -1,0 +1,506 @@
+package obs
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the deep-path tracing layer: sampled per-operation phase
+// traces and the always-on flight recorder.
+//
+// A Deep instance owns a set of per-session Probes, mirroring how Tracer
+// owns Rings. Each probe keeps two ring buffers:
+//
+//   - traces: full phase breakdowns of sampled operations (1 in
+//     SampleEvery), drained destructively for Chrome-trace export;
+//   - flight: compact summaries of *every* completed operation, kept for
+//     post-hoc inspection and dumped automatically on anomaly.
+//
+// The recording discipline matches the package contract: when tracing is
+// disabled the tree holds no Deep at all and every probe call is a single
+// nil check on a nil *Probe receiver. When enabled, the per-op state
+// (span array, counters) is owner-private plain memory; the only shared
+// work per op is one global sequence fetch plus one short uncontended
+// mutex section to publish the flight entry (and, for the 1-in-N sampled
+// ops, a second one for the trace ring). The mutexes exist solely so the
+// HTTP dump endpoints can copy entries without torn reads.
+
+// Phase enumerates the hot-path segments a sampled operation is broken
+// into. The Arg a span carries is phase-specific (see the constants).
+type Phase uint8
+
+const (
+	// PhaseDescend: root-to-leaf traversal — mapping-table lookups plus
+	// inner-chain routing. Arg is unused.
+	PhaseDescend Phase = iota
+	// PhaseChainWalk: leaf delta-chain replay. Arg is the observed chain
+	// depth (delta records above the base node).
+	PhaseChainWalk
+	// PhaseBaseSearch: binary search over the base node. Arg is the
+	// search-window width in items (narrowed by offset shortcuts).
+	PhaseBaseSearch
+	// PhaseCAS: one mapping-table publish attempt. Arg is 0 when the CaS
+	// won, 1 when it lost and the operation will retry.
+	PhaseCAS
+	// PhaseConsolidate: consolidation work stolen by this operation
+	// (folding a chain it found over threshold). Arg is the chain depth
+	// folded.
+	PhaseConsolidate
+	// PhaseWALAppend: appending the logical redo record (durable trees).
+	// Arg is the assigned LSN.
+	PhaseWALAppend
+	// PhaseFsyncWait: blocking on the group-commit fsync (durable trees
+	// with SyncOnCommit). Arg is the LSN waited for.
+	PhaseFsyncWait
+	// NumPhases bounds arrays indexed by Phase.
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"descend", "chain-walk", "base-search", "cas", "consolidate",
+	"wal-append", "fsync-wait",
+}
+
+// String returns the phase's report name.
+func (p Phase) String() string {
+	if int(p) < len(phaseNames) {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Span is one timed phase inside a sampled operation.
+type Span struct {
+	Phase Phase
+	Start int64 // obs.Now at phase start
+	Dur   int64
+	Arg   uint64
+}
+
+// MaxOpSpans bounds the spans recorded per sampled operation; an op that
+// retries past the cap keeps its counters exact but drops further spans.
+const MaxOpSpans = 16
+
+// OpTrace is one sampled operation's phase breakdown. Spans[:NSpans] are
+// valid; the array is fixed-size so recording never allocates.
+type OpTrace struct {
+	Seq        uint64
+	Class      OpClass
+	Worker     int32 // probe (session) index, the Chrome-trace tid
+	Start      int64
+	Dur        int64
+	ChainLen   uint32 // deepest leaf chain observed
+	CASRetries uint32 // mapping-table publish attempts that lost
+	Aborts     uint32 // traversal restarts
+	NSpans     int32
+	Spans      [MaxOpSpans]Span
+}
+
+// OpSummary is one flight-recorder entry: the compact always-on record
+// of a completed operation.
+type OpSummary struct {
+	Seq        uint64  `json:"seq"`
+	Class      OpClass `json:"class"`
+	Start      int64   `json:"start_ns"`
+	Dur        int64   `json:"dur_ns"`
+	ChainLen   uint32  `json:"chain_len"`
+	CASRetries uint32  `json:"cas_retries"`
+	Aborts     uint32  `json:"aborts"`
+}
+
+// AnomalySink receives automatic flight-recorder dumps: a one-line
+// reason and the dumping session's most recent op summaries (oldest
+// first).
+type AnomalySink func(reason string, recent []OpSummary)
+
+// DeepConfig configures a Deep tracing instance.
+type DeepConfig struct {
+	// SampleEvery samples every Nth operation per session into a full
+	// phase trace; 0 disables phase sampling (the flight recorder can
+	// still run).
+	SampleEvery int
+	// TraceBuf is the per-session sampled-trace ring capacity
+	// (default 256).
+	TraceBuf int
+	// FlightBuf is the per-session flight-recorder capacity; 0 disables
+	// the flight recorder.
+	FlightBuf int
+	// LatencyAnomalyNS auto-dumps the flight recorder when an op takes
+	// longer than this many nanoseconds; 0 disables the latency trigger.
+	LatencyAnomalyNS int64
+	// ChainAnomaly auto-dumps when an op observes a leaf chain deeper
+	// than this (the consolidation trigger is the natural setting); 0
+	// disables the chain trigger.
+	ChainAnomaly int
+}
+
+func (c *DeepConfig) sanitize() {
+	if c.SampleEvery < 0 {
+		c.SampleEvery = 0
+	}
+	if c.TraceBuf <= 0 {
+		c.TraceBuf = 256
+	}
+	if c.FlightBuf < 0 {
+		c.FlightBuf = 0
+	}
+}
+
+// Deep owns the deep-path tracing state for one tree: the probe pool,
+// the global op sequence, and the anomaly sink.
+type Deep struct {
+	cfg DeepConfig
+
+	seq       atomic.Uint64
+	dropped   atomic.Uint64 // sampled traces lost to ring wraparound
+	anomalies atomic.Uint64 // anomaly triggers (dumped or rate-limited)
+	lastDump  atomic.Int64  // obs.Now of the last sink invocation
+	sink      atomic.Pointer[AnomalySink]
+
+	mu     sync.Mutex
+	probes []*Probe
+	free   []*Probe
+}
+
+// NewDeep returns a tracing instance with cfg (zero fields defaulted).
+func NewDeep(cfg DeepConfig) *Deep {
+	cfg.sanitize()
+	return &Deep{cfg: cfg}
+}
+
+// Config returns the sanitized configuration.
+func (d *Deep) Config() DeepConfig { return d.cfg }
+
+// SetAnomalySink replaces the automatic-dump destination. A nil sink
+// restores the default, which logs a compact rendering to stderr.
+func (d *Deep) SetAnomalySink(fn AnomalySink) {
+	if fn == nil {
+		d.sink.Store(nil)
+		return
+	}
+	d.sink.Store(&fn)
+}
+
+// Probe returns a probe for one session, reusing a released one when
+// available (its undrained traces are preserved).
+func (d *Deep) Probe() *Probe {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n := len(d.free); n > 0 {
+		p := d.free[n-1]
+		d.free = d.free[:n-1]
+		return p
+	}
+	p := &Probe{d: d, worker: int32(len(d.probes))}
+	if d.cfg.SampleEvery > 0 {
+		p.traces = make([]OpTrace, d.cfg.TraceBuf)
+	}
+	if d.cfg.FlightBuf > 0 {
+		p.flight = make([]OpSummary, d.cfg.FlightBuf)
+	}
+	d.probes = append(d.probes, p)
+	return p
+}
+
+// Release returns a probe to the reuse pool. Its recorded state stays
+// drainable.
+func (d *Deep) Release(p *Probe) {
+	if p == nil {
+		return
+	}
+	d.mu.Lock()
+	d.free = append(d.free, p)
+	d.mu.Unlock()
+}
+
+// snapshotProbes copies the probe registry for lock-free iteration.
+func (d *Deep) snapshotProbes() []*Probe {
+	d.mu.Lock()
+	probes := make([]*Probe, len(d.probes))
+	copy(probes, d.probes)
+	d.mu.Unlock()
+	return probes
+}
+
+// Traces drains every probe's sampled phase traces into one stream
+// sorted by sequence number. Destructive: each trace is returned once.
+func (d *Deep) Traces() []OpTrace {
+	var out []OpTrace
+	for _, p := range d.snapshotProbes() {
+		out = p.drainTraces(out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// TracesDropped returns how many sampled traces were lost to ring
+// wraparound before they could be drained.
+func (d *Deep) TracesDropped() uint64 { return d.dropped.Load() }
+
+// Flight returns the newest n flight-recorder entries across every
+// session (all entries when n <= 0), oldest first. Non-destructive.
+func (d *Deep) Flight(n int) []OpSummary {
+	var out []OpSummary
+	for _, p := range d.snapshotProbes() {
+		out = p.flightCopy(out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if n > 0 && n < len(out) {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// Anomalies returns the cumulative anomaly-trigger count (including
+// triggers suppressed by the dump rate limit).
+func (d *Deep) Anomalies() uint64 { return d.anomalies.Load() }
+
+// ChainDepths merges every probe's observed leaf-chain-depth histogram.
+func (d *Deep) ChainDepths() HistSnapshot {
+	var s HistSnapshot
+	for _, p := range d.snapshotProbes() {
+		p.depth.AddTo(&s)
+	}
+	return s
+}
+
+// Note pushes an out-of-band event (e.g. recovery start) through the
+// anomaly sink, bypassing the rate limit, with the current tree-wide
+// flight tail attached.
+func (d *Deep) Note(reason string) {
+	d.anomalies.Add(1)
+	d.lastDump.Store(Now())
+	d.emit(reason, d.Flight(64))
+}
+
+// anomalyDumpGap is the minimum spacing between automatic dumps, so an
+// anomaly storm (every op over threshold) degrades to one dump a second
+// instead of a stderr flood.
+const anomalyDumpGap = int64(time.Second)
+
+// anomaly handles one triggered condition from p's session: count it,
+// and dump that session's recent entries unless rate-limited.
+func (d *Deep) anomaly(reason string, p *Probe) {
+	d.anomalies.Add(1)
+	now := Now()
+	last := d.lastDump.Load()
+	// last == 0 means no dump yet: without the explicit check, an anomaly
+	// in the process's first rate-limit window would be suppressed.
+	if (last != 0 && now-last < anomalyDumpGap) || !d.lastDump.CompareAndSwap(last, now) {
+		return
+	}
+	d.emit(reason, p.flightCopy(nil))
+}
+
+func (d *Deep) emit(reason string, recent []OpSummary) {
+	if fn := d.sink.Load(); fn != nil {
+		(*fn)(reason, recent)
+		return
+	}
+	defaultAnomalySink(reason, recent)
+}
+
+// defaultAnomalySink logs the reason and a tail of the ring to stderr.
+func defaultAnomalySink(reason string, recent []OpSummary) {
+	const tail = 8
+	if len(recent) > tail {
+		recent = recent[len(recent)-tail:]
+	}
+	line := fmt.Sprintf("bwtree flightrec: %s; last %d ops:", reason, len(recent))
+	for _, s := range recent {
+		line += fmt.Sprintf(" [%s %dus chain=%d cas=%d ab=%d]",
+			s.Class, s.Dur/1000, s.ChainLen, s.CASRetries, s.Aborts)
+	}
+	log.Print(line)
+}
+
+// Probe is one session's deep-tracing state. All Op*/Note*/Span methods
+// are called only by the owning session goroutine; a nil receiver is
+// valid everywhere and makes each call a single nil check — the
+// disabled-mode contract.
+type Probe struct {
+	d      *Deep
+	worker int32
+
+	// Owner-private per-op state: plain fields, single writer.
+	ctr      uint64 // outermost ops begun, drives sampling
+	nest     int32  // OpBegin depth (a durable commit wraps a tree op)
+	active   bool   // current outermost op is sampled
+	opChain  uint32
+	opCAS    uint32
+	opAborts uint32
+	cur      OpTrace
+
+	// depth is the live leaf-chain-depth distribution (atomic adds; read
+	// concurrently by ChainDepths).
+	depth Histogram
+
+	// Ring publication is mutex-guarded so dump endpoints never see torn
+	// entries; both locks are uncontended except during a dump.
+	tmu    sync.Mutex
+	traces []OpTrace // nil unless sampling enabled
+	tnext  uint64
+
+	fmu    sync.Mutex
+	flight []OpSummary // nil unless the flight recorder is enabled
+	fnext  uint64
+}
+
+// Active reports whether the current operation is being phase-sampled;
+// span probes gate their clock reads on it.
+func (p *Probe) Active() bool { return p != nil && p.active }
+
+// OpBegin opens one public operation. Nested calls (a durable commit
+// wrapping the in-memory apply, or per-op accounting inside a batch)
+// attach to the outermost operation; only it is sampled and summarized.
+func (p *Probe) OpBegin() {
+	if p == nil {
+		return
+	}
+	p.nest++
+	if p.nest > 1 {
+		return
+	}
+	p.opChain, p.opCAS, p.opAborts = 0, 0, 0
+	if p.traces != nil {
+		p.ctr++
+		if every := uint64(p.d.cfg.SampleEvery); p.ctr%every == 0 {
+			p.active = true
+			p.cur = OpTrace{Worker: p.worker}
+		}
+	}
+}
+
+// Span records one timed phase of the sampled operation. Callers must
+// have checked Active (and captured start) before doing the phase work.
+func (p *Probe) Span(ph Phase, start int64, arg uint64) {
+	if int(p.cur.NSpans) >= len(p.cur.Spans) {
+		return
+	}
+	p.cur.Spans[p.cur.NSpans] = Span{Phase: ph, Start: start, Dur: Now() - start, Arg: arg}
+	p.cur.NSpans++
+}
+
+// NoteChain records one observed leaf-chain depth: it feeds the live
+// depth distribution and the current op's summary.
+func (p *Probe) NoteChain(n uint32) {
+	if p == nil {
+		return
+	}
+	if n > p.opChain {
+		p.opChain = n
+	}
+	p.depth.RecordNS(int64(n))
+}
+
+// NoteCASFail counts one lost mapping-table publish.
+func (p *Probe) NoteCASFail() {
+	if p == nil {
+		return
+	}
+	p.opCAS++
+}
+
+// NoteAbort counts one traversal restart.
+func (p *Probe) NoteAbort() {
+	if p == nil {
+		return
+	}
+	p.opAborts++
+}
+
+// OpEnd closes the operation opened by the matching OpBegin. At the
+// outermost level it publishes the flight entry, checks the anomaly
+// triggers, and finalizes the sampled trace if the op was sampled.
+func (p *Probe) OpEnd(c OpClass, start, dur int64) {
+	if p == nil {
+		return
+	}
+	p.nest--
+	if p.nest > 0 {
+		return
+	}
+	if p.nest < 0 {
+		p.nest = 0 // tolerate an unmatched OpEnd rather than corrupt state
+	}
+	seq := p.d.seq.Add(1)
+	if p.flight != nil {
+		sum := OpSummary{
+			Seq: seq, Class: c, Start: start, Dur: dur,
+			ChainLen: p.opChain, CASRetries: p.opCAS, Aborts: p.opAborts,
+		}
+		p.fmu.Lock()
+		p.flight[p.fnext%uint64(len(p.flight))] = sum
+		p.fnext++
+		p.fmu.Unlock()
+		cfg := &p.d.cfg
+		switch {
+		case cfg.LatencyAnomalyNS > 0 && dur > cfg.LatencyAnomalyNS:
+			p.d.anomaly(fmt.Sprintf("%s op took %dus (threshold %dus)",
+				c, dur/1000, cfg.LatencyAnomalyNS/1000), p)
+		case cfg.ChainAnomaly > 0 && p.opChain > uint32(cfg.ChainAnomaly):
+			p.d.anomaly(fmt.Sprintf("%s op saw chain depth %d (consolidation trigger %d)",
+				c, p.opChain, cfg.ChainAnomaly), p)
+		}
+	}
+	if p.active {
+		p.active = false
+		p.cur.Seq = seq
+		p.cur.Class = c
+		p.cur.Start = start
+		p.cur.Dur = dur
+		p.cur.ChainLen = p.opChain
+		p.cur.CASRetries = p.opCAS
+		p.cur.Aborts = p.opAborts
+		p.tmu.Lock()
+		if p.tnext >= uint64(len(p.traces)) {
+			p.d.dropped.Add(1)
+		}
+		p.traces[p.tnext%uint64(len(p.traces))] = p.cur
+		p.tnext++
+		p.tmu.Unlock()
+	}
+}
+
+// drainTraces appends the probe's buffered traces (oldest first) to out
+// and resets the ring.
+func (p *Probe) drainTraces(out []OpTrace) []OpTrace {
+	if p.traces == nil {
+		return out
+	}
+	p.tmu.Lock()
+	defer p.tmu.Unlock()
+	size := uint64(len(p.traces))
+	n := p.tnext
+	if n > size {
+		n = size
+	}
+	for i := uint64(0); i < n; i++ {
+		out = append(out, p.traces[(p.tnext-n+i)%size])
+	}
+	p.tnext = 0
+	return out
+}
+
+// flightCopy appends the ring's current entries (oldest first) to out
+// without consuming them.
+func (p *Probe) flightCopy(out []OpSummary) []OpSummary {
+	if p.flight == nil {
+		return out
+	}
+	p.fmu.Lock()
+	defer p.fmu.Unlock()
+	size := uint64(len(p.flight))
+	n := p.fnext
+	if n > size {
+		n = size
+	}
+	for i := uint64(0); i < n; i++ {
+		out = append(out, p.flight[(p.fnext-n+i)%size])
+	}
+	return out
+}

@@ -78,6 +78,12 @@ type Stats struct {
 	Syncs       uint64
 	Bytes       uint64
 	Segments    uint64
+	// QueueBytes/QueueRecords gauge the flush queue: records appended
+	// but not yet handed to the flusher's write+fsync cycle. A queue
+	// that stays large means commits are arriving faster than the log
+	// device drains them.
+	QueueBytes   uint64
+	QueueRecords uint64
 	// Fsync is the fsync wall-time histogram (nanoseconds); Batch is the
 	// records-per-fsync histogram.
 	Fsync obs.HistSnapshot
@@ -249,6 +255,8 @@ func (w *Writer) Stats() Stats {
 	}
 	w.mu.Lock()
 	st.AppendedLSN = w.appended
+	st.QueueBytes = uint64(len(w.buf))
+	st.QueueRecords = uint64(w.bufRecs)
 	w.mu.Unlock()
 	w.fsyncHist.AddTo(&st.Fsync)
 	w.batchHist.AddTo(&st.Batch)
