@@ -67,6 +67,13 @@ const (
 	GCCentralized   = core.GCCentralized
 )
 
+// PathStep is one hop of a diagnostic Tree.DescendPath walk.
+type PathStep = core.PathStep
+
+// FormatPath renders a Tree.DescendPath result as an indented
+// multi-line dump, one hop per line.
+func FormatPath(steps []PathStep) string { return core.FormatPath(steps) }
+
 // New returns an empty tree configured by opts.
 func New(opts Options) *Tree { return core.New(opts) }
 

@@ -108,6 +108,7 @@ func main() {
 	seed := flag.Int64("seed", 0, "crash-timing seed for -wal (0 = derive from time)")
 	traceOut := flag.String("trace-out", "", "write sampled phase traces as Chrome trace-event JSON to this file at exit (enables deep tracing)")
 	sampleEvery := flag.Int("phase-sample", 64, "with deep tracing on, phase-sample every Nth operation per worker")
+	stallSecs := flag.Int("stall-secs", 10, "autopsy and fail if the global op counter plateaus for this many seconds (0 = off)")
 	flag.Parse()
 
 	if *walDir != "" && (*batch > 1 || *check) {
@@ -197,6 +198,9 @@ func main() {
 	for w := 0; w < *workers; w++ {
 		mirrors[w] = newMirror(w)
 	}
+	// curKeys lets the stall autopsy dump the descent path of whatever
+	// key each worker was touching when progress stopped.
+	curKeys := make([]atomic.Uint64, *workers)
 	if d != nil {
 		// A -wal directory may hold a previous run's data; seed each
 		// worker's mirror with the recovered keys of its congruence class
@@ -234,6 +238,7 @@ func main() {
 					break
 				}
 				k := base + uint64(rng.Intn(int(*keyspace)))*nw
+				curKeys[w].Store(k)
 				switch rng.Intn(6) {
 				case 0:
 					v := rng.Uint64()
@@ -368,12 +373,40 @@ func main() {
 	start := time.Now()
 	ticker := time.NewTicker(5 * time.Second)
 	defer ticker.Stop()
+	// Stall detector (ported from the core reproducer's test scaffolding):
+	// if the global op counter plateaus, the tree is wedged — every worker
+	// is restarting against some poisoned state. Autopsy instead of
+	// spinning silently until the deadline: note the anomaly (which also
+	// force-dumps the flight recorder behind /debug/flightrec), dump each
+	// worker's descent path for the key it was on, and fail.
+	stallTick := time.NewTicker(time.Second)
+	defer stallTick.Stop()
+	lastOps, stalls := uint64(0), 0
 loop:
 	for time.Since(start) < *duration && !failed.Load() {
 		select {
 		case <-done:
 			// Workers exhausted the -check op budget or the crash fired.
 			break loop
+		case <-stallTick.C:
+			if *stallSecs <= 0 || stop.Load() {
+				continue
+			}
+			if cur := ops.Load(); cur != lastOps {
+				lastOps, stalls = cur, 0
+				continue
+			}
+			if stalls++; stalls < *stallSecs {
+				continue
+			}
+			log.Printf("STALL: no op progress for %ds; stats=%+v", *stallSecs, t.Stats())
+			t.AnomalyNote(fmt.Sprintf("bwstress: op counter plateaued for %ds", *stallSecs))
+			for w := 0; w < *workers; w++ {
+				k := curKeys[w].Load()
+				fmt.Fprintf(os.Stderr, "worker %d stuck on key %d:\n%s", w, k,
+					bwtree.FormatPath(t.DescendPath(key64(k))))
+			}
+			failed.Store(true)
 		case <-ticker.C:
 			st := t.Stats()
 			log.Printf("t=%v ops=%d (%.2f Mops/s) aborts=%d splits=%d merges=%d consolidations=%d",

@@ -378,6 +378,7 @@ func dispatch(t *bwtree.Tree, s *bwtree.Session, line string) bool {
   stats                   operation counters (append 'json' for JSON)
   shape                   node-shape statistics (Table 2 quantities)
   dump                    render the tree (small trees only!)
+  path <key>              diagnostic root-to-leaf descent dump for a key
   quit
 `)
 	case "put", "update", "insert":
@@ -450,6 +451,16 @@ func dispatch(t *bwtree.Tree, s *bwtree.Session, line string) bool {
 		withJSON(args, func() { printShape(t) })
 	case "dump":
 		fmt.Print(t.Dump())
+	case "path":
+		// Diagnostic descent: every hop from the root toward the leaf
+		// covering the key, stopping AT any anomaly (nil mapping entry,
+		// ∆abort/∆remove head, routing dead end) instead of retrying
+		// past it — the tool for "why does this key hang".
+		if len(args) != 1 {
+			fmt.Println("usage: path <key>")
+			break
+		}
+		fmt.Print(bwtree.FormatPath(t.DescendPath([]byte(args[0]))))
 	default:
 		fmt.Printf("unknown command %q ('help' lists commands)\n", cmd)
 	}

@@ -80,6 +80,7 @@ func (s *Session) consolidateIDInner(id nodeID, head *delta, parentID nodeID, pa
 		return
 	}
 	nb := s.buildBase(c, head)
+	schedPoint(SPConsolidateSwap, id, 0, nil)
 	if !s.t.cas(id, head, nb) {
 		s.stats.casFailures.Add(1)
 		return

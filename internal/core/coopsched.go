@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// CoopSched is a deterministic cooperative scheduler over the
+// sync-point layer (schedule.go), in the spirit of PCT (probabilistic
+// concurrency testing): every registered goroutine gets a random
+// priority from a seeded source, exactly one registered goroutine runs
+// at a time, and at every sync point control passes to the
+// highest-priority runnable goroutine; periodic priority change points
+// re-draw the running goroutine's priority so low-probability orderings
+// get explored. A given seed replays the same schedule, so a failure
+// found by seed sweep is a deterministic regression test.
+//
+// Usage:
+//
+//	cs := NewCoopSched(seed)
+//	cs.Go(func() { ...tree ops... })
+//	cs.Go(func() { ...tree ops... })
+//	cs.Run() // releases the goroutines, waits for them, restores the hook
+//
+// Goroutines not registered through Go (the test's main goroutine,
+// background runtime goroutines) pass through sync points untouched.
+//
+// A registered goroutine that blocks outside a sync point (it should
+// not — every wait loop in the package is instrumented) would stall
+// the whole schedule; a watchdog breaks such stalls by releasing an
+// extra goroutine and counting a breach. Breaches() reporting zero
+// after Run certifies the schedule really was serial.
+type CoopSched struct {
+	// ChangeEvery is the priority change-point period in sync-point
+	// steps (PCT's d parameter, approximated by re-drawing the current
+	// goroutine's priority). Set before Run; 0 disables change points.
+	ChangeEvery int
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	gs         map[uint64]*coopG
+	running    *coopG
+	steps      int
+	breaches   int
+	spawned    int
+	registered int
+	released   bool
+	closed     bool
+	nextSeq    int
+	prios      []int // drawn in Go() call order so they are deterministic
+	wg         sync.WaitGroup
+	restore    func()
+	stopWatch  chan struct{}
+}
+
+type coopG struct {
+	seq    int
+	prio   int
+	gate   chan struct{}
+	parked bool
+}
+
+// NewCoopSched creates a scheduler driven by seed and installs it as
+// the global sync-point hook (restored by Run).
+func NewCoopSched(seed int64) *CoopSched {
+	cs := &CoopSched{
+		ChangeEvery: 13,
+		rng:         rand.New(rand.NewSource(seed)),
+		gs:          make(map[uint64]*coopG),
+		stopWatch:   make(chan struct{}),
+	}
+	cs.restore = SetSchedHook(cs.onPoint)
+	return cs
+}
+
+// Go registers fn to run under the schedule. The goroutine starts
+// parked; nothing executes until Run.
+func (cs *CoopSched) Go(fn func()) {
+	cs.mu.Lock()
+	seq := cs.nextSeq
+	cs.nextSeq++
+	cs.spawned++
+	// Priorities are drawn here, in Go() call order, so the schedule
+	// does not depend on goroutine start-up order.
+	cs.prios = append(cs.prios, cs.rng.Int())
+	cs.mu.Unlock()
+
+	cs.wg.Add(1)
+	go func() {
+		defer cs.wg.Done()
+		g := &coopG{seq: seq, gate: make(chan struct{}, 1), parked: true}
+		id := gid()
+		cs.mu.Lock()
+		g.prio = cs.prios[seq]
+		cs.gs[id] = g
+		cs.registered++
+		cs.mu.Unlock()
+		<-g.gate // wait for Run (or a dispatch) to grant the turn
+		fn()
+		cs.mu.Lock()
+		delete(cs.gs, id)
+		if cs.running == g {
+			cs.running = nil
+		}
+		cs.dispatchLocked()
+		cs.mu.Unlock()
+	}()
+}
+
+// Run releases the registered goroutines under the schedule, waits for
+// all of them to finish, and restores the previous sync-point hook. It
+// returns the number of sync-point steps taken.
+func (cs *CoopSched) Run() int {
+	// Start barrier: every spawned goroutine must be registered before
+	// the first dispatch, or the initial pick would race registration.
+	for {
+		cs.mu.Lock()
+		ready := cs.registered == cs.spawned
+		cs.mu.Unlock()
+		if ready {
+			break
+		}
+		runtime.Gosched()
+	}
+	go cs.watchdog()
+	cs.mu.Lock()
+	cs.released = true
+	cs.dispatchLocked()
+	cs.mu.Unlock()
+	cs.wg.Wait()
+	close(cs.stopWatch)
+	cs.mu.Lock()
+	cs.closed = true
+	steps := cs.steps
+	cs.mu.Unlock()
+	cs.restore()
+	return steps
+}
+
+// Breaches reports how many times the watchdog had to break the serial
+// schedule to avoid a stall. Zero means the run was fully serialized.
+func (cs *CoopSched) Breaches() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.breaches
+}
+
+// onPoint is the sync-point hook: park the calling goroutine, hand the
+// turn to the highest-priority parked goroutine (possibly itself).
+func (cs *CoopSched) onPoint(PointInfo) {
+	id := gid()
+	cs.mu.Lock()
+	g := cs.gs[id]
+	if g == nil || cs.closed || !cs.released {
+		cs.mu.Unlock()
+		return
+	}
+	cs.steps++
+	if cs.ChangeEvery > 0 && cs.steps%cs.ChangeEvery == 0 {
+		g.prio = cs.rng.Int() // PCT priority change point
+	}
+	g.parked = true
+	if cs.running == g {
+		cs.running = nil
+	}
+	cs.dispatchLocked()
+	cs.mu.Unlock()
+	<-g.gate
+}
+
+// dispatchLocked grants the turn to the highest-priority parked
+// goroutine if none is running. Ties break on registration order;
+// map iteration order does not influence the pick.
+func (cs *CoopSched) dispatchLocked() {
+	if cs.running != nil || !cs.released {
+		return
+	}
+	var best *coopG
+	for _, g := range cs.gs {
+		if !g.parked {
+			continue
+		}
+		if best == nil || g.prio > best.prio || (g.prio == best.prio && g.seq < best.seq) {
+			best = g
+		}
+	}
+	if best == nil {
+		return
+	}
+	best.parked = false
+	cs.running = best
+	best.gate <- struct{}{}
+}
+
+// watchdog breaks schedule stalls: if no sync-point step happens for a
+// while although goroutines are parked, something is blocked outside
+// the instrumented points — release one extra goroutine rather than
+// hang the test.
+func (cs *CoopSched) watchdog() {
+	last, quiet := -1, 0
+	for {
+		select {
+		case <-cs.stopWatch:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+		cs.mu.Lock()
+		if cs.steps != last {
+			last, quiet = cs.steps, 0
+			cs.mu.Unlock()
+			continue
+		}
+		quiet++
+		if quiet >= 40 { // ~2s without progress
+			quiet = 0
+			var best *coopG
+			for _, g := range cs.gs {
+				if g.parked && (best == nil || g.prio > best.prio) {
+					best = g
+				}
+			}
+			if best != nil {
+				cs.breaches++
+				best.parked = false
+				// Take over the turn: the stalled holder keeps executing
+				// natively (the breach is already non-serial), but normal
+				// dispatching continues from the released goroutine.
+				cs.running = best
+				best.gate <- struct{}{}
+			}
+		}
+		cs.mu.Unlock()
+	}
+}
+
+// gid returns the calling goroutine's runtime ID, parsed from the
+// stack header ("goroutine N [running]:"). Test-path only — never on
+// the hot path.
+func gid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, b := range buf[prefix:n] {
+		if b < '0' || b > '9' {
+			break
+		}
+		id = id*10 + uint64(b-'0')
+	}
+	return id
+}

@@ -1,0 +1,8 @@
+//go:build smoracebug
+
+package core
+
+// smoracebug: compile out the SMO race guards to restore the
+// unposted-separator bug for the schedule-harness red self-test. Never
+// set in production builds. See raceguard_on.go.
+const smoRaceGuards = false

@@ -1,0 +1,26 @@
+//go:build !smoracebug
+
+package core
+
+// smoRaceGuards enables the SMO guards that close the high-pressure
+// split/merge races (see DESIGN.md "The unposted-separator race" and
+// "The folded-split tail"):
+//
+//   - the merge initiator's parent-routing check in tryMerge (mode a:
+//     never merge a sibling whose separator was never posted),
+//   - the child liveness check before a separator post in
+//     completeSplitParts (mode b: a delayed Stage III must not install
+//     a route to a merged-away node),
+//   - the merge coverage check in tryMerge (mode c: never merge a
+//     victim whose parent still routes the victim's high key to it —
+//     its separator covers a folded, unposted split whose tail the
+//     ∆separator-delete cannot re-route),
+//   - the left-overlap check in mergeIntoLeft (helpers never post
+//     Stage II ∆merges, so an overlapping left sibling is a stale
+//     snapshot, not a completed merge).
+//
+// The smoracebug build tag compiles them out so the schedule-harness
+// red self-tests (schedule_smo_red_test.go) can prove the harness still
+// reproduces the original bugs — the same red/green pattern as PR 2's
+// smobug checker self-test.
+const smoRaceGuards = true

@@ -53,6 +53,7 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 		keys: c.keys[mid:], vals: sliceVals(c.vals, mid), kids: sliceKids(c.kids, mid), leaf: c.leaf,
 	}, head)
 	right.lowKey = splitKey
+	schedPoint(SPSplitPublish, id, rid, splitKey)
 	t.mt.Store(rid, right)
 
 	// Stage II: the ∆split.
@@ -65,6 +66,7 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 	sd.rightSib = rid
 	sd.size = int32(mid)
 	sd.offset = -1
+	schedPoint(SPSplitDelta, id, rid, splitKey)
 	if !t.cas(id, head, sd) {
 		// Nobody has seen rid; recycle it immediately.
 		t.mt.Recycle(rid)
@@ -75,7 +77,7 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 	s.emit(obs.EvSplit, id, rid, uint64(mid))
 
 	// Stage III: make the new node reachable from the parent.
-	s.postSeparator(splitKey, rid, sd.nextKey, id, parentID, parentHead)
+	s.postSeparator(splitKey, rid, sd.nextKey, id, parentID, parentHead, c.leaf)
 
 	// Fold the left half into a consolidated base. Failure just means a
 	// concurrent append; a later consolidation will fold the split.
@@ -84,6 +86,7 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 	}, head)
 	left.highKey = splitKey
 	left.rightSib = rid
+	schedPoint(SPSplitLeftFold, id, rid, nil)
 	if t.cas(id, sd, left) {
 		s.stats.consolidations.Add(1)
 		s.retireChain(head)
@@ -168,6 +171,7 @@ func (s *Session) splitRoot(head *delta, c collected) {
 	if s.t.opts.Preallocate {
 		newRoot.slab = s.t.getSlab(false)
 	}
+	schedPoint(SPSplitRoot, t.root, rid, splitKey)
 	if !t.cas(t.root, head, newRoot) {
 		t.mt.Recycle(lid)
 		t.mt.Recycle(rid)
@@ -184,14 +188,15 @@ func (s *Session) splitRoot(head *delta, c collected) {
 // already present. Giving up is safe — the new node stays reachable via
 // the sibling link — but each retry re-descends from the root, so in
 // practice the loop finishes in one or two rounds.
-func (s *Session) postSeparator(splitKey []byte, rightID nodeID, nextKey []byte, leftID, parentID nodeID, parentHead *delta) {
+func (s *Session) postSeparator(splitKey []byte, rightID nodeID, nextKey []byte, leftID, parentID nodeID, parentHead *delta, childIsLeaf bool) {
 	const maxAttempts = 64
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if parentID != invalidNode && parentHead != nil {
-			if s.completeSplitParts(parentID, parentHead, splitKey, rightID, nextKey) {
+			if s.completeSplitParts(parentID, parentHead, splitKey, rightID, nextKey, childIsLeaf) {
 				return
 			}
 		}
+		schedPoint(SPSepRetry, leftID, rightID, splitKey)
 		parentID, parentHead = invalidNode, nil
 		pid, phead, done, ok := s.findParent(splitKey, leftID, rightID)
 		if done {
@@ -243,10 +248,11 @@ func (s *Session) findParent(splitKey []byte, leftID, rightID nodeID) (nodeID, *
 }
 
 // completeSplitParts posts a ∆separator (sepKey → child, bounded by
-// nextKey) into the parent if absent. Reports success (posted or already
-// present); false means the snapshot went stale and the caller must
-// rediscover the parent.
-func (s *Session) completeSplitParts(parentID nodeID, parentHead *delta, sepKey []byte, child nodeID, nextKey []byte) bool {
+// nextKey) into the parent if absent. Reports success (posted, already
+// present, or moot); false means the snapshot went stale and the caller
+// must rediscover the parent. childIsLeaf is the level of the node the
+// separator routes to, used to recognize ID reuse.
+func (s *Session) completeSplitParts(parentID nodeID, parentHead *delta, sepKey []byte, child nodeID, nextKey []byte, childIsLeaf bool) bool {
 	if got, ok := s.routeInner(parentHead, sepKey); ok && got == child {
 		return true
 	}
@@ -256,6 +262,31 @@ func (s *Session) completeSplitParts(parentID nodeID, parentHead *delta, sepKey 
 	switch parentHead.kind {
 	case kAbort, kRemove:
 		return false
+	}
+	if smoRaceGuards {
+		// Liveness guard (fix for the unposted-separator race, mode b):
+		// a delayed Stage III must never post a separator for a node
+		// that has meanwhile been merged away — the victim's ID may
+		// already be recycled (nil mapping entry, or reused by an
+		// unrelated node), and the post would install a permanently
+		// dangling route that wedges every traversal of the range. The
+		// node is gone exactly when its mapping entry is nil, carries a
+		// ∆remove, or no longer matches the split that created it
+		// (different low key or level after ID reuse). Declaring the
+		// post moot is safe: a separator's only job is reachability,
+		// and the node no longer exists to be reached.
+		//
+		// The check is not a racy best-effort: any merge that removes
+		// child must first ∆abort-lock and then ∆separator-delete the
+		// one inner node currently routing child's low key — the same
+		// node this post is about to CaS. Either the load below already
+		// sees the ∆remove, or the merge's parent update invalidates
+		// parentHead and the CaS fails into rediscovery.
+		ch := s.t.load(child)
+		if ch == nil || ch.kind == kRemove ||
+			ch.isLeaf != childIsLeaf || !sameKey(ch.lowKey, sepKey) {
+			return true
+		}
 	}
 	sep := s.allocDelta(parentHead)
 	if sep == nil {
@@ -271,6 +302,7 @@ func (s *Session) completeSplitParts(parentID nodeID, parentHead *delta, sepKey 
 	sep.child = child
 	sep.nextKey = nextKey
 	sep.offset = -1
+	schedPoint(SPSepPost, parentID, child, sepKey)
 	if !s.t.cas(parentID, parentHead, sep) {
 		s.stats.casFailures.Add(1)
 		return false
@@ -310,11 +342,13 @@ func (s *Session) tryMerge(parentID nodeID, parentHead *delta, id nodeID, head *
 	// Stage 0: lock the parent.
 	ab := &delta{kind: kAbort}
 	ab.inheritFrom(parentHead)
+	schedPoint(SPMergeLock, parentID, id, head.lowKey)
 	if !t.cas(parentID, parentHead, ab) {
 		s.stats.casFailures.Add(1)
 		return
 	}
 	unlock := func() {
+		schedPoint(SPMergeUnlock, parentID, id, nil)
 		if !t.cas(parentID, ab, parentHead) {
 			panic("core: lost ∆abort ownership")
 		}
@@ -341,8 +375,51 @@ func (s *Session) tryMerge(parentID nodeID, parentHead *delta, id nodeID, head *
 		unlock()
 		return
 	}
+	if smoRaceGuards {
+		// Routing guard (fix for the unposted-separator race, mode a):
+		// a node is mergeable only if the parent actually routes its
+		// low key to it — i.e. the separator created with it has been
+		// posted. A half-split's right sibling is reachable through
+		// sibling links alone while its split's Stage III is still in
+		// flight, and a traversal that chased into it hands tryMerge a
+		// parent that has never heard of it. Merging it would post a
+		// ∆separator-delete for a separator that does not exist
+		// (undercounting the parent's size attribute — the lost-∆delete
+		// validation failure) and leave the late separator post to
+		// resurrect a route to the recycled victim (the all-workers
+		// wedge). The parent's chain is frozen under our ∆abort, so
+		// routing parentHead here is stable until Stage III.
+		if got, ok := s.routeInner(parentHead, h.lowKey); !ok || got != id {
+			unlock()
+			return
+		}
+		// Coverage guard (fix for the folded-split tail wedge, mode c):
+		// the parent must not still route the victim's HIGH key back to
+		// the victim. If it does, the separator created with the victim
+		// covers more than the victim's current range — the victim once
+		// split, folded its ∆split, and the new sibling's separator was
+		// never posted (postSeparator gave up), leaving the tail of the
+		// range reachable only through the victim's sibling link. Merging
+		// such a victim is unsound: Stage III's ∆separator-delete routes
+		// only [leftKey, rm.highKey) to the left sibling, so the tail
+		// [rm.highKey, next separator) falls through to the stale base
+		// separator and lands on the recycled victim — a permanent stale
+		// route that wedges every operation on those keys until the
+		// parent happens to consolidate (which the wedge itself then
+		// starves; this was the all-workers bwstress/soak livelock).
+		// Refusing is safe: the half-split state stays fully reachable
+		// via sibling links, exactly like an unposted sibling under the
+		// routing guard above.
+		if h.highKey != nil && keyLT(h.highKey, parentHead.highKey) {
+			if got, ok := s.routeInner(parentHead, h.highKey); !ok || got == id {
+				unlock()
+				return
+			}
+		}
+	}
 	rm := &delta{kind: kRemove}
 	rm.inheritFrom(h)
+	schedPoint(SPMergeRemove, id, 0, h.lowKey)
 	if !t.cas(id, h, rm) {
 		s.stats.casFailures.Add(1)
 		unlock()
@@ -362,6 +439,7 @@ func (s *Session) tryMerge(parentID nodeID, parentHead *delta, id nodeID, head *
 		// the ∆remove restart instead of helping Stage II), so nothing
 		// can have absorbed the victim; and the CaS cannot lose because
 		// nothing else publishes onto a removed node's chain.
+		schedPoint(SPRemoveRetract, id, 0, nil)
 		if !t.cas(id, rm, h) {
 			panic("core: ∆remove retraction lost an impossible race")
 		}
@@ -380,6 +458,7 @@ func (s *Session) tryMerge(parentID nodeID, parentHead *delta, id nodeID, head *
 	sd.leftChild = leftID
 	sd.nextKey = rm.highKey
 	sd.offset = -1
+	schedPoint(SPSepDelete, parentID, id, rm.lowKey)
 	if !t.cas(parentID, ab, sd) {
 		panic("core: lost ∆abort ownership during merge")
 	}
@@ -428,6 +507,7 @@ func (s *Session) mergeIntoLeft(parentHead *delta, victim nodeID, rm *delta) (no
 			if transient > 64 {
 				return 0, nil, false
 			}
+			schedPoint(SPMergeLeftSpin, cur, victim, rm.lowKey)
 			runtime.Gosched()
 			continue
 		}
@@ -442,8 +522,17 @@ func (s *Session) mergeIntoLeft(parentHead *delta, victim nodeID, rm *delta) (no
 			}
 			cur = lhead.rightSib
 		case cmp > 0:
-			// A helper already posted the merge (the left node's range
-			// grew past the victim's low key).
+			// The left node's range extends past the victim's low key.
+			// Helpers never post Stage II ∆merges in this protocol (they
+			// restart on ∆remove instead), so no node can legitimately
+			// cover the victim's range: this is a stale snapshot or a
+			// stale route. Claiming success here without a posted ∆merge
+			// would let Stage III recycle the victim with its content
+			// never absorbed — silent data loss. Abandon; the caller
+			// retracts the ∆remove and the merge is retried later.
+			if smoRaceGuards {
+				return 0, nil, false
+			}
 			return origLeft, leftSepKey, true
 		default:
 			m := &delta{kind: kMerge}
@@ -455,6 +544,7 @@ func (s *Session) mergeIntoLeft(parentHead *delta, victim nodeID, rm *delta) (no
 			m.rightSib = rm.rightSib
 			m.size = lhead.size + rm.size
 			m.offset = -1
+			schedPoint(SPMergeDelta, cur, victim, rm.lowKey)
 			if s.t.cas(cur, lhead, m) {
 				s.maybeConsolidate(cur, m)
 				return origLeft, leftSepKey, true

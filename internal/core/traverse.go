@@ -39,6 +39,7 @@ func (s *Session) descend(key []byte, tr *traversal) bool {
 		case kRemove:
 			// The node is being merged into its left sibling; help along
 			// and continue at the left branch (Appendix A.2).
+			schedPoint(SPDescendRemove, id, 0, key)
 			leftID, ok := s.helpMerge(parentID, parentHead, id, head)
 			if !ok {
 				return false
@@ -59,7 +60,7 @@ func (s *Session) descend(key []byte, tr *traversal) bool {
 		// unfinished split, help post its separator first (§2.4).
 		if head.highKey != nil && keyGE(key, head.highKey) {
 			if head.kind == kSplit && parentID != invalidNode && parentHead != nil {
-				s.completeSplitParts(parentID, parentHead, head.key, head.child, head.nextKey)
+				s.completeSplitParts(parentID, parentHead, head.key, head.child, head.nextKey, head.isLeaf)
 			}
 			if head.rightSib == invalidNode {
 				return false

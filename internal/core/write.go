@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -10,16 +11,27 @@ import (
 // consecutive failures, yields the processor: the restart is usually
 // waiting on another goroutine's unfinished SMO (e.g. a ∆abort-locked
 // parent), and on hosts with few cores a tight restart loop can starve
-// the very goroutine it is waiting for.
+// the very goroutine it is waiting for. Past a few hundred consecutive
+// restarts the op is in a genuine storm — escalate from yielding to
+// short sleeps so SMO owners get real CPU time even on GOMAXPROCS=1,
+// and leave one flight-recorder note so a structural wedge produces an
+// autopsy (via /debug/flightrec) instead of a silent spin.
 func (s *Session) abortBackoff(spins *int) {
 	s.stats.aborts.Add(1)
 	s.emit(obs.EvAbort, 0, 0, 0)
 	if deepProbes {
 		s.probe.NoteAbort()
 	}
+	schedPoint(SPBackoff, 0, 0, nil)
 	*spins++
 	if *spins > 2 {
 		runtime.Gosched()
+	}
+	if *spins > 256 {
+		if *spins == 1024 {
+			s.t.AnomalyNote("abortBackoff: operation restarted 1024 times without progress")
+		}
+		time.Sleep(time.Duration(min(*spins-256, 100)) * time.Microsecond)
 	}
 }
 
@@ -78,6 +90,19 @@ func (s *Session) appendLeaf(tr *traversal, k kind, key []byte, value, oldValue 
 	d.oldValue = oldValue
 	d.size = head.size + sizeDelta
 	d.offset = off
+	schedPoint(SPLeafPrepend, tr.id, 0, key)
+	// Boundary invariant (DESIGN.md "The delta-prepend boundary
+	// invariant"): the CaS below validates against the exact head the
+	// descent range-checked, and any SMO that moves this node's
+	// [lowKey, highKey) must first publish a new head — so a successful
+	// prepend is always in range and no re-check is needed between
+	// locating the leaf and the CaS. This assertion pins the invariant
+	// (and catches any future caller handing in an unvalidated head).
+	if head.lowKey != nil && !keyGE(key, head.lowKey) ||
+		head.highKey != nil && keyGE(key, head.highKey) {
+		s.stats.aborts.Add(1)
+		return false
+	}
 	t0 := s.phStart()
 	if !s.t.cas(tr.id, head, d) {
 		s.phEnd(obs.PhaseCAS, t0, 1)
