@@ -34,6 +34,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"repro/bwtree"
+	"repro/internal/bwproto"
 	"repro/internal/histcheck"
 	"repro/internal/index"
 	"repro/internal/wal"
@@ -104,6 +106,7 @@ func main() {
 	batch := flag.Int("batch", 0, "route inserts/deletes/lookups through the batch API in windows of this size (0 = single-op)")
 	check := flag.Bool("check", false, "record every op and verify the merged history for linearizability at exit")
 	checkOps := flag.Uint64("check-ops", 400_000, "total operation budget with -check (recorded histories must fit in memory)")
+	serverAddr := flag.String("server", "", "drive a running bwserver at this address over the wire instead of an in-process tree")
 	walDir := flag.String("wal", "", "run under the durability layer in this directory and crash/recover mid-soak")
 	seed := flag.Int64("seed", 0, "crash-timing seed for -wal (0 = derive from time)")
 	traceOut := flag.String("trace-out", "", "write sampled phase traces as Chrome trace-event JSON to this file at exit (enables deep tracing)")
@@ -113,6 +116,11 @@ func main() {
 
 	if *walDir != "" && (*batch > 1 || *check) {
 		log.Fatal("-wal cannot be combined with -batch or -check")
+	}
+	if *serverAddr != "" && (*walDir != "" || *debugAddr != "" || *traceOut != "") {
+		// Over the wire, durability, the debug surface, and phase traces
+		// belong to the server process (bwserver flags), not the client rig.
+		log.Fatal("-server cannot be combined with -wal, -debug-addr, or -trace-out")
 	}
 
 	opts := bwtree.DefaultOptions()
@@ -140,14 +148,37 @@ func main() {
 	var d *bwtree.Durable
 	var checked *histcheck.Checked
 	var newSession func() stressSession
+	var pairs pairSource
 
-	if *walDir != "" {
+	if *serverAddr != "" {
+		ix, err := bwproto.DialIndex(*serverAddr)
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		defer ix.Close()
+		base := func() session { return ix.NewSession().(session) }
+		if *check {
+			checked = histcheck.Wrap(ix, false)
+			base = func() session { return checked.NewSession().(session) }
+			log.Printf("history checking on: capped at %d ops", *checkOps)
+		}
+		newSession = func() stressSession { return plainSession{base()} }
+		// The final sweep scans the server over the wire; mirrors are also
+		// preloaded that way below, in case the server recovered old data.
+		pairs = func(visit func(key []byte, value uint64)) {
+			s := ix.NewSession()
+			defer s.Release()
+			s.Scan(nil, 1<<40, func(k []byte, v uint64) bool { visit(k, v); return true })
+		}
+		log.Printf("driving server at %s", *serverAddr)
+	} else if *walDir != "" {
 		var err error
 		d, err = bwtree.OpenDurable(*walDir, bwtree.DurableOptions{Tree: opts, SyncOnCommit: true})
 		if err != nil {
 			log.Fatalf("open durable: %v", err)
 		}
 		t = d.Tree()
+		pairs = treePairs(t)
 		newSession = func() stressSession { return d.NewSession() }
 		rec := d.RecoveryStats()
 		log.Printf("durable tree open: %d snapshot keys, %d replayed, torn=%v", rec.SnapshotKeys, rec.Replayed, rec.TornTail)
@@ -155,6 +186,7 @@ func main() {
 		idx := index.NewBwTreeWith("OpenBwTree", opts)
 		defer idx.Close()
 		t = idx.(index.BwBacked).Tree()
+		pairs = treePairs(t)
 		base := func() session { return t.NewSession() }
 		if *check {
 			checked = histcheck.Wrap(idx, false)
@@ -201,13 +233,17 @@ func main() {
 	// curKeys lets the stall autopsy dump the descent path of whatever
 	// key each worker was touching when progress stopped.
 	curKeys := make([]atomic.Uint64, *workers)
-	if d != nil {
-		// A -wal directory may hold a previous run's data; seed each
-		// worker's mirror with the recovered keys of its congruence class
-		// so verification starts from the true state.
-		if n, err := preloadMirrors(t, mirrors); err != nil {
+	if d != nil || *serverAddr != "" {
+		// A -wal directory (or a server that recovered one) may hold a
+		// previous run's data; seed each worker's mirror with the recovered
+		// keys of its congruence class so verification starts from the true
+		// state.
+		if n, err := preloadMirrors(pairs, mirrors); err != nil {
 			log.Fatalf("preload mirrors: %v", err)
 		} else if n > 0 {
+			if checked != nil {
+				log.Fatalf("-check requires an empty server, found %d preexisting keys", n)
+			}
 			log.Printf("mirrors preloaded with %d recovered keys", n)
 		}
 	}
@@ -399,15 +435,25 @@ loop:
 			if stalls++; stalls < *stallSecs {
 				continue
 			}
-			log.Printf("STALL: no op progress for %ds; stats=%+v", *stallSecs, t.Stats())
-			t.AnomalyNote(fmt.Sprintf("bwstress: op counter plateaued for %ds", *stallSecs))
-			for w := 0; w < *workers; w++ {
-				k := curKeys[w].Load()
-				fmt.Fprintf(os.Stderr, "worker %d stuck on key %d:\n%s", w, k,
-					bwtree.FormatPath(t.DescendPath(key64(k))))
+			if t != nil {
+				log.Printf("STALL: no op progress for %ds; stats=%+v", *stallSecs, t.Stats())
+				t.AnomalyNote(fmt.Sprintf("bwstress: op counter plateaued for %ds", *stallSecs))
+				for w := 0; w < *workers; w++ {
+					k := curKeys[w].Load()
+					fmt.Fprintf(os.Stderr, "worker %d stuck on key %d:\n%s", w, k,
+						bwtree.FormatPath(t.DescendPath(key64(k))))
+				}
+			} else {
+				log.Printf("STALL: no op progress for %ds against %s", *stallSecs, *serverAddr)
 			}
 			failed.Store(true)
 		case <-ticker.C:
+			if t == nil {
+				log.Printf("t=%v ops=%d (%.2f Mops/s) over the wire",
+					time.Since(start).Round(time.Second), ops.Load(),
+					float64(ops.Load())/time.Since(start).Seconds()/1e6)
+				continue
+			}
 			st := t.Stats()
 			log.Printf("t=%v ops=%d (%.2f Mops/s) aborts=%d splits=%d merges=%d consolidations=%d",
 				time.Since(start).Round(time.Second), ops.Load(),
@@ -457,13 +503,16 @@ loop:
 		log.Printf("recovered: %d snapshot keys, %d replayed (LSN %d), torn=%v, load=%v replay=%v",
 			rec.SnapshotKeys, rec.Replayed, rec.LastLSN, rec.TornTail, rec.SnapshotLoad.Round(time.Millisecond), rec.Replay.Round(time.Millisecond))
 		t = d2.Tree()
+		pairs = treePairs(t)
 	}
 
-	if err := t.Validate(); err != nil {
-		fmt.Printf("FAILED: final validation: %v\n", err)
-		os.Exit(1)
+	if t != nil {
+		if err := t.Validate(); err != nil {
+			fmt.Printf("FAILED: final validation: %v\n", err)
+			os.Exit(1)
+		}
 	}
-	if errs := sweepVerify(t, mirrors); len(errs) > 0 {
+	if errs := sweepVerify(pairs, mirrors); len(errs) > 0 {
 		for i, err := range errs {
 			if i == 20 {
 				fmt.Printf("  ... %d more\n", len(errs)-20)
@@ -497,6 +546,15 @@ loop:
 		}
 		log.Printf("wrote %d sampled op traces to %s (load in chrome://tracing or ui.perfetto.dev)", len(traces), *traceOut)
 	}
+	if t == nil {
+		// Server mode: the authoritative counters live server-side.
+		if blob, err := serverStats(*serverAddr); err == nil {
+			fmt.Printf("PASS: %d ops over the wire against %s\n  server: %s\n", ops.Load(), *serverAddr, blob)
+		} else {
+			fmt.Printf("PASS: %d ops over the wire against %s (stats unavailable: %v)\n", ops.Load(), *serverAddr, err)
+		}
+		return
+	}
 	st := t.Stats()
 	fmt.Printf("PASS: %d ops, %d aborts (%.2f%%), %d splits, %d merges, final count %d\n",
 		ops.Load(), st.Aborts, st.AbortRate()*100, st.Splits, st.Merges, t.Count())
@@ -519,6 +577,32 @@ func writeTraceFile(path string, traces []bwtree.OpTrace) error {
 		return err
 	}
 	return f.Close()
+}
+
+// serverStats fetches a compact stats line from the server.
+func serverStats(addr string) (string, error) {
+	c, err := bwproto.Dial(addr)
+	if err != nil {
+		return "", err
+	}
+	defer c.Close()
+	blob, err := c.Stats()
+	if err != nil {
+		return "", err
+	}
+	var parsed struct {
+		Server struct {
+			ConnsTotal uint64 `json:"conns_total"`
+			Frames     uint64 `json:"frames"`
+			Errors     uint64 `json:"proto_errors"`
+		} `json:"server"`
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(blob, &parsed); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%d shards, %d frames over %d connections, %d protocol errors",
+		parsed.Shards, parsed.Server.Frames, parsed.Server.ConnsTotal, parsed.Server.Errors), nil
 }
 
 // reportCrash distinguishes the expected simulated-crash error from a

@@ -95,28 +95,47 @@ func (m *mirror) checkLookup(k uint64, vals []uint64) error {
 // preloadMirrors seeds the mirrors from an already-populated tree (a
 // recovered -wal directory), assigning each key to the worker owning its
 // congruence class. Returns the number of keys loaded.
-func preloadMirrors(t *bwtree.Tree, mirrors []*mirror) (int, error) {
+func preloadMirrors(pairs pairSource, mirrors []*mirror) (int, error) {
 	nw := uint64(len(mirrors))
-	s := t.NewSession()
-	defer s.Release()
-	it := s.NewIterator()
 	n := 0
-	for it.SeekFirst(); it.Valid(); it.Next() {
-		if len(it.Key()) != 8 {
-			return n, fmt.Errorf("tree holds non-workload key %x", it.Key())
+	var bad error
+	pairs(func(key []byte, v uint64) {
+		if bad != nil {
+			return
 		}
-		k := binary.BigEndian.Uint64(it.Key())
-		mirrors[k%nw].owned[k] = it.Value()
+		if len(key) != 8 {
+			bad = fmt.Errorf("tree holds non-workload key %x", key)
+			return
+		}
+		k := binary.BigEndian.Uint64(key)
+		mirrors[k%nw].owned[k] = v
 		n++
-	}
-	return n, nil
+	})
+	return n, bad
 }
 
-// sweepVerify walks the whole tree and compares it against the union of
+// pairSource streams every (key, value) pair of the quiescent store in
+// ascending order: a local tree walk, or a full SCAN over the wire in
+// server mode. The two final sweeps share the exact same comparison.
+type pairSource func(visit func(key []byte, value uint64))
+
+// treePairs streams a local tree through its iterator.
+func treePairs(t *bwtree.Tree) pairSource {
+	return func(visit func(key []byte, value uint64)) {
+		s := t.NewSession()
+		defer s.Release()
+		it := s.NewIterator()
+		for it.SeekFirst(); it.Valid(); it.Next() {
+			visit(it.Key(), it.Value())
+		}
+	}
+}
+
+// sweepVerify walks the whole store and compares it against the union of
 // the worker mirrors: every mirrored key must hold its mirrored value,
 // nothing else may exist, and a crash-pending key may be in its pre- or
 // post-state but nothing else. Returns all mismatches.
-func sweepVerify(t *bwtree.Tree, mirrors []*mirror) []error {
+func sweepVerify(pairs pairSource, mirrors []*mirror) []error {
 	expect := make(map[uint64]uint64)
 	pend := make(map[uint64]*pendingUnknown)
 	preHad := make(map[uint64]bool)
@@ -133,16 +152,12 @@ func sweepVerify(t *bwtree.Tree, mirrors []*mirror) []error {
 
 	var errs []error
 	seen := make(map[uint64]bool)
-	s := t.NewSession()
-	defer s.Release()
-	it := s.NewIterator()
-	for it.SeekFirst(); it.Valid(); it.Next() {
-		if len(it.Key()) != 8 {
-			errs = append(errs, fmt.Errorf("tree holds non-workload key %x", it.Key()))
-			continue
+	pairs(func(key []byte, v uint64) {
+		if len(key) != 8 {
+			errs = append(errs, fmt.Errorf("tree holds non-workload key %x", key))
+			return
 		}
-		k := binary.BigEndian.Uint64(it.Key())
-		v := it.Value()
+		k := binary.BigEndian.Uint64(key)
 		seen[k] = true
 		if p, ok := pend[k]; ok {
 			pre, had := expect[k], preHad[k]
@@ -151,17 +166,17 @@ func sweepVerify(t *bwtree.Tree, mirrors []*mirror) []error {
 			if !okPre && !okPost {
 				errs = append(errs, fmt.Errorf("pending key %d = %d, want pre-state (%d,%v) or post-state (%c,%d)", k, v, pre, had, p.op, p.v))
 			}
-			continue
+			return
 		}
 		want, ok := expect[k]
 		if !ok {
 			errs = append(errs, fmt.Errorf("tree holds unexpected key %d = %d", k, v))
-			continue
+			return
 		}
 		if v != want {
 			errs = append(errs, fmt.Errorf("key %d = %d, want %d", k, v, want))
 		}
-	}
+	})
 	for k, want := range expect {
 		if seen[k] {
 			continue

@@ -1,0 +1,202 @@
+// Package bwproto is the serving tier's network layer: a length-prefixed
+// binary protocol (RESP-in-spirit, binary-on-the-wire) over TCP, a
+// pipelined server fronting a sharded store (internal/shard), and a
+// client whose sessions satisfy index.Index — so every harness workload,
+// mirror verifier, and the history checker can drive a server over real
+// sockets through the exact code paths they use in-process.
+//
+// # Wire format
+//
+// Every request and response is one frame:
+//
+//	uint32  length   (bytes that follow, little-endian; max MaxFrame)
+//	uint32  reqID    (echoed verbatim in the response)
+//	uint8   opcode / status
+//	payload (opcode-specific, see below)
+//
+// Requests (client → server):
+//
+//	OpPing                                            liveness probe
+//	OpGet   u16 klen, key                             point lookup
+//	OpSet   u16 klen, key, u64 val                    insert-if-absent
+//	OpUpd   u16 klen, key, u64 val                    update-if-present
+//	OpDel   u16 klen, key, u64 val                    delete
+//	OpScan  u16 klen, start, u32 n                    ordered range read
+//	OpBatch u16 count, count×(u8 sub, u16 klen, key[, u64 val])
+//	OpStats                                           aggregate counters
+//
+// Responses (server → client) carry a status byte in the opcode slot:
+//
+//	StatusOK   + payload:
+//	    Get:   u16 nvals, nvals×u64
+//	    Set/Upd/Del: u8 ok
+//	    Scan:  u8 done, u32 count, count×(u16 klen, key, u64 val) — done=1
+//	        means the key space ended before the limit; done=0 with
+//	        count<n means the response hit the frame budget and the
+//	        client resumes from the successor of the last key
+//	    Batch: u16 count, count×(u8 sub, result as above)
+//	    Stats: u32 jsonlen, json
+//	StatusErr  + u16 msglen, msg — the request was malformed or exceeded
+//	    a limit; the connection stays usable and responses stay in
+//	    request order. Only an undecodable stream (bogus length prefix)
+//	    closes the connection, after a best-effort error frame.
+//
+// Responses are always written in request order per connection, so
+// clients may pipeline arbitrarily many requests before reading.
+package bwproto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Opcodes.
+const (
+	OpPing  = 0x01
+	OpGet   = 0x02
+	OpSet   = 0x03
+	OpUpd   = 0x04
+	OpDel   = 0x05
+	OpScan  = 0x06
+	OpBatch = 0x07
+	OpStats = 0x08
+)
+
+// Response status codes.
+const (
+	StatusOK  = 0x00
+	StatusErr = 0xFF
+)
+
+// Protocol limits. Violations get a StatusErr response, never a panic.
+const (
+	// MaxFrame bounds one frame's post-length bytes. Large enough for a
+	// full scan chunk, small enough that a hostile length prefix cannot
+	// balloon server memory.
+	MaxFrame = 1 << 20
+	// MaxKey bounds one key. The tree itself would accept more; the
+	// serving tier pins a contract.
+	MaxKey = 4096
+	// MaxScan bounds one scan request's item count.
+	MaxScan = 1 << 16
+	// MaxBatch bounds one batch frame's sub-operation count.
+	MaxBatch = 1 << 14
+)
+
+// header is the fixed part of every frame after the length prefix.
+const headerLen = 4 + 1 // reqID + opcode
+
+// appendFrame seals payload built by fn into buf as one frame:
+// length prefix, reqID, op, payload.
+func appendFrame(buf []byte, reqID uint32, op byte, fn func([]byte) []byte) []byte {
+	lenAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, reqID)
+	buf = append(buf, op)
+	buf = fn(buf)
+	binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
+	return buf
+}
+
+// appendKey appends u16 klen + key.
+func appendKey(buf, key []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	return append(buf, key...)
+}
+
+// reader walks one decoded frame payload.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated %s at offset %d", what, r.pos)
+	}
+}
+
+func (r *reader) u8(what string) byte {
+	if r.err != nil || r.pos+1 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u16(what string) uint16 {
+	if r.err != nil || r.pos+2 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.pos:])
+	r.pos += 2
+	return v
+}
+
+func (r *reader) u32(what string) uint32 {
+	if r.err != nil || r.pos+4 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) u64(what string) uint64 {
+	if r.err != nil || r.pos+8 > len(r.buf) {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) bytes(n int, what string) []byte {
+	if r.err != nil || n < 0 || r.pos+n > len(r.buf) {
+		r.fail(what)
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// key reads u16 klen + key, enforcing the key contract.
+func (r *reader) key() ([]byte, error) {
+	klen := int(r.u16("key length"))
+	k := r.bytes(klen, "key")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if klen == 0 {
+		return nil, fmt.Errorf("empty key")
+	}
+	if klen > MaxKey {
+		return nil, fmt.Errorf("key of %d bytes exceeds limit %d", klen, MaxKey)
+	}
+	return k, nil
+}
+
+// startKey reads u16 klen + key for scan starts, where empty means
+// "from the beginning of the key space".
+func (r *reader) startKey() ([]byte, error) {
+	klen := int(r.u16("start key length"))
+	k := r.bytes(klen, "start key")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if klen > MaxKey {
+		return nil, fmt.Errorf("start key of %d bytes exceeds limit %d", klen, MaxKey)
+	}
+	return k, nil
+}
+
+// rest reports leftover bytes — a malformed frame signal (every opcode's
+// payload is fully specified).
+func (r *reader) rest() int { return len(r.buf) - r.pos }

@@ -1,0 +1,202 @@
+package bwproto
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/histcheck"
+	"repro/internal/index"
+)
+
+// TestConnectionChurn cycles a thousand connections through the server
+// under concurrent load: every dial does real work, overlapping with
+// dozens of live peers, and every close must drain from the registry.
+// Run under -race this doubles as the serving tier's data-race probe.
+func TestConnectionChurn(t *testing.T) {
+	sv, addr := startServer(t, 4)
+
+	workers, dials := 50, 20
+	if testing.Short() {
+		workers, dials = 20, 10
+	}
+	totalConns := workers * dials
+	var peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var key [8]byte
+			for d := 0; d < dials; d++ {
+				c, err := Dial(addr)
+				if err != nil {
+					t.Errorf("worker %d dial %d: %v", w, d, err)
+					return
+				}
+				if live := sv.Stats().ConnsLive; live > peak.Load() {
+					peak.Store(live)
+				}
+				for i := 0; i < 50; i++ {
+					binary.BigEndian.PutUint64(key[:], rng.Uint64()%4096)
+					var opErr error
+					switch rng.Intn(4) {
+					case 0:
+						_, opErr = c.Insert(key[:], uint64(w))
+					case 1:
+						_, opErr = c.Delete(key[:], uint64(w))
+					case 2:
+						_, opErr = c.Lookup(key[:], nil)
+					default:
+						_, opErr = c.Scan(key[:], 10, func([]byte, uint64) bool { return true })
+					}
+					if opErr != nil {
+						t.Errorf("worker %d op: %v", w, opErr)
+						c.Close()
+						return
+					}
+				}
+				c.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	s := sv.Stats()
+	if s.ConnsTotal < uint64(totalConns) {
+		t.Errorf("ConnsTotal = %d, want >= %d", s.ConnsTotal, totalConns)
+	}
+	if s.ProtoErrors != 0 {
+		t.Errorf("ProtoErrors = %d, want 0", s.ProtoErrors)
+	}
+	t.Logf("churned %d connections (peak %d live), %d frames", s.ConnsTotal, peak.Load(), s.Frames)
+
+	// Every closed connection leaves the registry.
+	deadline := time.Now().Add(10 * time.Second)
+	for sv.Stats().ConnsLive > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d connections still registered after close", sv.Stats().ConnsLive)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := sv.Store().Validate(); err != nil {
+		t.Errorf("store validate after churn: %v", err)
+	}
+}
+
+// TestHistcheckOverWire runs the history checker against a live server
+// through the NetIndex adapter: the same recorder that gates in-process
+// stress runs verifies client-visible linearizability over real sockets.
+func TestHistcheckOverWire(t *testing.T) {
+	_, addr := startServer(t, 8)
+	ix, err := DialIndex(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := histcheck.Wrap(ix, false)
+	defer checked.Close()
+
+	workers, opsPer := 8, 3000
+	if testing.Short() {
+		workers, opsPer = 4, 800
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sess := index.AsBatch(checked.NewSession())
+			defer sess.Release()
+			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			var key [8]byte
+			for i := 0; i < opsPer; i++ {
+				binary.BigEndian.PutUint64(key[:], rng.Uint64()%512)
+				switch rng.Intn(10) {
+				case 0, 1, 2:
+					sess.Insert(key[:], uint64(w*opsPer+i))
+				case 3:
+					sess.Delete(key[:], uint64(rng.Intn(workers*opsPer)))
+				case 4:
+					sess.Update(key[:], uint64(w*opsPer+i))
+				case 5:
+					sess.Scan(key[:], 20, func([]byte, uint64) bool { return true })
+				default:
+					sess.Lookup(key[:], nil)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	violations := checked.Check()
+	for _, v := range violations {
+		t.Errorf("violation: %v", v)
+	}
+	if len(violations) == 0 {
+		t.Logf("history clean: %d ops over the wire", len(checked.History().Ops))
+	}
+}
+
+// TestNetIndexBatchSession covers the adapter's batched entry points
+// (windowed OpBatch frames) against direct results.
+func TestNetIndexBatchSession(t *testing.T) {
+	_, addr := startServer(t, 4)
+	ix, err := DialIndex(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	sess, ok := ix.NewSession().(index.BatchSession)
+	if !ok {
+		t.Fatal("NetIndex session does not implement BatchSession")
+	}
+	defer sess.Release()
+
+	const n = 1000
+	keys := make([][]byte, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = binary.BigEndian.AppendUint64(nil, uint64(i))
+		vals[i] = uint64(i) * 7
+	}
+	ok1 := sess.InsertBatch(keys, vals, nil)
+	for i, got := range ok1 {
+		if !got {
+			t.Fatalf("InsertBatch[%d] rejected", i)
+		}
+	}
+	// Second insert of the same keys must be rejected pairwise.
+	ok2 := sess.InsertBatch(keys, vals, ok1)
+	for i, got := range ok2 {
+		if got {
+			t.Fatalf("duplicate InsertBatch[%d] accepted", i)
+		}
+	}
+	seen := 0
+	sess.LookupBatch(keys, func(i int, got []uint64) {
+		seen++
+		if len(got) != 1 || got[0] != uint64(i)*7 {
+			t.Fatalf("LookupBatch[%d] = %v, want [%d]", i, got, uint64(i)*7)
+		}
+	})
+	if seen != n {
+		t.Fatalf("LookupBatch visited %d keys, want %d", seen, n)
+	}
+	del := sess.DeleteBatch(keys[:n/2], vals[:n/2], nil)
+	for i, got := range del {
+		if !got {
+			t.Fatalf("DeleteBatch[%d] rejected", i)
+		}
+	}
+	if got := sess.Scan(nil, n+10, func([]byte, uint64) bool { return true }); got != n/2 {
+		t.Fatalf("post-delete scan = %d pairs, want %d", got, n/2)
+	}
+}

@@ -60,6 +60,7 @@ func Experiments() []Experiment {
 		{"flatnode", "Flat vs slice base-node layout: consolidated Lookup throughput + allocs (gated), read-mostly/scan mixes, JSON report", FlatNode},
 		{"durability", "WAL cost, group-commit shape, and recovery rates, JSON report + gates", Durability},
 		{"obs-overhead", "Observability-overhead gate: disabled probes vs -tags notrace build (<2%), sampled-tracing cost, JSON report", ObsOverhead},
+		{"server", "Sharded serving tier over loopback TCP: pipelined vs point round trips, scan mix, JSON report + gate", ServerGate},
 	}
 }
 

@@ -1,0 +1,228 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/bwtree"
+)
+
+// Options configures a sharded Store.
+type Options struct {
+	// Shards is the partition count; 0 means 1. Each shard is a fully
+	// independent Bw-Tree sized for one core's traffic.
+	Shards int
+	// Router selects the partitioning scheme; nil means a hash router
+	// over Shards partitions. Its NumShards must equal Shards.
+	Router Router
+	// Tree configures every shard's tree identically.
+	Tree bwtree.Options
+	// WALDir, when non-empty, makes every shard durable with its own log
+	// in WALDir/shard-NNN — per-shard group commit streams that never
+	// contend with each other. Recovery happens shard-parallel at Open.
+	WALDir string
+	// SyncOnCommit is the per-shard acknowledged-write guarantee (see
+	// bwtree.DurableOptions).
+	SyncOnCommit bool
+}
+
+// Shard is one partition: an independent tree, optionally wrapped by its
+// own durability layer.
+type Shard struct {
+	ID int
+	t  *bwtree.Tree
+	d  *bwtree.Durable // nil without a WAL
+}
+
+// Tree exposes the shard's tree for stats and validation.
+func (sh *Shard) Tree() *bwtree.Tree { return sh.t }
+
+// Durable exposes the shard's durability layer (nil when in-memory).
+func (sh *Shard) Durable() *bwtree.Durable { return sh.d }
+
+// Store is a set of per-core Bw-Tree shards behind one Router. All
+// cross-shard coordination lives here; inside a shard the tree's
+// latch-free protocols run exactly as in the single-tree deployment.
+type Store struct {
+	opts   Options
+	router Router
+	shards []*Shard
+}
+
+// Open builds (or, with WALDir, recovers) a sharded store. Recovery runs
+// one goroutine per shard: the per-shard logs replay in parallel, so
+// recovery time scales down with the shard count.
+func Open(o Options) (*Store, error) {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Router == nil {
+		o.Router = NewHashRouter(o.Shards)
+	}
+	if o.Router.NumShards() != o.Shards {
+		return nil, fmt.Errorf("shard: router covers %d shards, store has %d", o.Router.NumShards(), o.Shards)
+	}
+	if o.Tree.NonUnique {
+		return nil, errors.New("shard: non-unique trees are not supported by the serving tier")
+	}
+	st := &Store{opts: o, router: o.Router, shards: make([]*Shard, o.Shards)}
+	var wg sync.WaitGroup
+	errs := make([]error, o.Shards)
+	for i := 0; i < o.Shards; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sh := &Shard{ID: i}
+			if o.WALDir == "" {
+				sh.t = bwtree.New(o.Tree)
+			} else {
+				dir := filepath.Join(o.WALDir, fmt.Sprintf("shard-%03d", i))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					errs[i] = err
+					return
+				}
+				d, err := bwtree.OpenDurable(dir, bwtree.DurableOptions{Tree: o.Tree, SyncOnCommit: o.SyncOnCommit})
+				if err != nil {
+					errs[i] = fmt.Errorf("shard %d: %w", i, err)
+					return
+				}
+				sh.d, sh.t = d, d.Tree()
+			}
+			st.shards[i] = sh
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// Router returns the store's router.
+func (st *Store) Router() Router { return st.router }
+
+// NumShards returns the partition count.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// Shards returns the live shards (nil entries only after a failed Open).
+func (st *Store) Shards() []*Shard { return st.shards }
+
+// Durable reports whether the store runs under per-shard WALs.
+func (st *Store) Durable() bool { return st.opts.WALDir != "" }
+
+// RecoveryStats sums the per-shard recovery work done at Open.
+func (st *Store) RecoveryStats() bwtree.RecoveryStats {
+	var agg bwtree.RecoveryStats
+	for _, sh := range st.shards {
+		if sh == nil || sh.d == nil {
+			continue
+		}
+		r := sh.d.RecoveryStats()
+		agg.SnapshotKeys += r.SnapshotKeys
+		agg.Replayed += r.Replayed
+		agg.TornTail = agg.TornTail || r.TornTail
+		// Shards recover in parallel; wall-clock recovery is the slowest
+		// shard, so report the max, not the sum.
+		if r.SnapshotLoad > agg.SnapshotLoad {
+			agg.SnapshotLoad = r.SnapshotLoad
+		}
+		if r.Replay > agg.Replay {
+			agg.Replay = r.Replay
+		}
+	}
+	return agg
+}
+
+// Checkpoint takes an epoch-consistent checkpoint of every durable
+// shard, in parallel. A no-op for in-memory stores.
+func (st *Store) Checkpoint() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(st.shards))
+	for i, sh := range st.shards {
+		if sh == nil || sh.d == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			if _, err := sh.d.Checkpoint(); err != nil {
+				errs[i] = fmt.Errorf("shard %d checkpoint: %w", i, err)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Close releases every shard (closing durable writers first).
+func (st *Store) Close() error {
+	var errs []error
+	for _, sh := range st.shards {
+		if sh == nil {
+			continue
+		}
+		if sh.d != nil {
+			if err := sh.d.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		} else if sh.t != nil {
+			sh.t.Close()
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats sums every shard's tree counters into one aggregate.
+func (st *Store) Stats() bwtree.Stats {
+	var agg bwtree.Stats
+	for _, sh := range st.shards {
+		if sh == nil {
+			continue
+		}
+		s := sh.t.Stats()
+		agg.Ops += s.Ops
+		agg.Aborts += s.Aborts
+		agg.Consolidations += s.Consolidations
+		agg.Splits += s.Splits
+		agg.Merges += s.Merges
+		agg.SlabFull += s.SlabFull
+		agg.PointerChases += s.PointerChases
+		agg.CASFailures += s.CASFailures
+		agg.LeafSlabUsed += s.LeafSlabUsed
+		agg.LeafSlabCap += s.LeafSlabCap
+		agg.InnerSlabUsed += s.InnerSlabUsed
+		agg.InnerSlabCap += s.InnerSlabCap
+		agg.BatchLeafHits += s.BatchLeafHits
+		agg.BatchParentHits += s.BatchParentHits
+		agg.GC.Retired += s.GC.Retired
+		agg.GC.Reclaimed += s.GC.Reclaimed
+		agg.GC.Advances += s.GC.Advances
+		if s.GC.EpochLag > agg.GC.EpochLag {
+			agg.GC.EpochLag = s.GC.EpochLag
+		}
+	}
+	return agg
+}
+
+// Count sums the exact pair count of every shard (quiescent only).
+func (st *Store) Count() int {
+	n := 0
+	for _, sh := range st.shards {
+		n += sh.t.Count()
+	}
+	return n
+}
+
+// Validate runs structural validation on every shard.
+func (st *Store) Validate() error {
+	for _, sh := range st.shards {
+		if err := sh.t.Validate(); err != nil {
+			return fmt.Errorf("shard %d: %w", sh.ID, err)
+		}
+	}
+	return nil
+}
