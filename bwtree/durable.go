@@ -31,6 +31,14 @@ type DurableOptions struct {
 	// lose the most recent acknowledgements (bounded by Sync/Checkpoint
 	// calls). The in-memory result is identical either way.
 	SyncOnCommit bool
+	// TxnCommitted resolves two-phase transaction prepares found during
+	// recovery: a surviving OpTxnPrep record applies iff this reports its
+	// transaction ID committed. Leave nil for standalone stores — they
+	// then resolve decisions from their own log (a prep is committed iff
+	// an OpTxnCommit for its ID survives here). A sharded store passes a
+	// store-level resolver so a decision surviving in any participant's
+	// log commits the prepares in all of them.
+	TxnCommitted func(txnID uint64) bool
 }
 
 // Durable wraps a Tree with write-ahead logging, epoch-consistent
@@ -91,6 +99,11 @@ type RecoveryStats struct {
 	LastLSN uint64
 	// TornTail reports that a torn final record was found and truncated.
 	TornTail bool
+	// MaxTxnID is the highest transaction ID observed in the replayed log
+	// suffix (0 when none). The transaction layer seeds its ID counter
+	// above it so a new prepare can never collide with a stale surviving
+	// decision record.
+	MaxTxnID uint64
 	// SnapshotLoad and Replay are the wall-clock durations of the two
 	// recovery phases.
 	SnapshotLoad time.Duration
@@ -130,16 +143,35 @@ func OpenDurable(dir string, o DurableOptions) (*Durable, error) {
 	}
 
 	t0 := time.Now()
+	committed := o.TxnCommitted
+	preTorn := false
+	if committed == nil {
+		// Standalone decision pre-scan: a surviving two-phase prepare
+		// applies iff its decision record also survives in this log.
+		// Decisions and the ID high-water mark come from the same pass, so
+		// a stale decision that could poison a future prepare necessarily
+		// pushes the next incarnation's IDs above itself. (The pass also
+		// truncates a torn tail; remember it — the main replay then finds
+		// the log already clean.)
+		set, maxID, torn, perr := ScanTxnDecisions(dir)
+		if perr != nil {
+			d.t.Close()
+			return nil, perr
+		}
+		d.rec.MaxTxnID = maxID
+		preTorn = torn
+		committed = func(id uint64) bool { return set[id] }
+	}
 	var st wal.ReplayStats
 	if haveCP {
 		// Tail replay over snapshot state: apply records through sessions,
 		// partitioned by key so per-key order is kept.
-		st, err = replayParallel(d.t, dir, m.LSN, d.seed)
+		st, err = replayParallel(d.t, dir, m.LSN, d.seed, committed)
 	} else {
 		// No snapshot: the tree is empty, so the log alone determines the
 		// final state. Fold it into a map and BulkLoad — far cheaper than
 		// a million individual root-to-leaf inserts.
-		st, err = replayFold(d.t, dir)
+		st, err = replayFold(d.t, dir, committed)
 	}
 	if err != nil {
 		d.t.Close()
@@ -147,7 +179,7 @@ func OpenDurable(dir string, o DurableOptions) (*Durable, error) {
 	}
 	d.rec.Replayed = st.Records
 	d.rec.LastLSN = st.MaxLSN
-	d.rec.TornTail = st.Torn
+	d.rec.TornTail = st.Torn || preTorn
 	d.rec.Replay = time.Since(t0)
 
 	next := st.MaxLSN + 1
@@ -176,11 +208,51 @@ func (d *Durable) CheckpointAge() time.Duration {
 	return time.Duration(time.Now().UnixNano() - d.lastCP.Load())
 }
 
+// ScanTxnDecisions reads dir's log tail (after its manifest LSN, when a
+// checkpoint exists) and reports every transaction ID carrying a
+// surviving OpTxnCommit decision record, plus the highest transaction ID
+// seen on any transaction record. A sharded store runs this over every
+// shard directory before opening them, merges the results, and passes
+// the union as DurableOptions.TxnCommitted — a decision surviving in any
+// participant's log then commits the prepares in all of them.
+//
+// The scan truncates a torn final record exactly as replay would (the
+// two must agree on where the log ends); torn reports whether it did, so
+// callers can surface the truncation even though the subsequent open
+// finds the log already clean.
+//
+// Prune safety: a decision is appended to the same log as each prepare
+// it commits, after it — so a surviving prepare's decision sits above
+// the same manifest LSN, and the per-shard scans collectively see every
+// decision that any surviving prepare needs.
+func ScanTxnDecisions(dir string) (committed map[uint64]bool, maxTxnID uint64, torn bool, err error) {
+	m, _, err := wal.LoadManifest(dir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	set := make(map[uint64]bool)
+	st, err := wal.Replay(dir, m.LSN, func(r wal.Record) error {
+		if wal.IsTxnOp(r.Op) {
+			if r.Value > maxTxnID {
+				maxTxnID = r.Value
+			}
+			if r.Op == wal.OpTxnCommit {
+				set[r.Value] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return set, maxTxnID, st.Torn, nil
+}
+
 // replayFold recovers a log-only directory into an empty tree: each
 // key's final state is decided by folding its own record sequence with
 // the guarded unique-key semantics (insert-if-absent, update-if-present,
 // delete), then the surviving pairs are bulk-loaded in key order.
-func replayFold(t *Tree, dir string) (wal.ReplayStats, error) {
+func replayFold(t *Tree, dir string, committed func(uint64) bool) (wal.ReplayStats, error) {
 	// Presize the fold map from the log's on-disk footprint (records are
 	// at least ~20 bytes framed) — incremental growth to hundreds of
 	// thousands of entries otherwise dominates recovery.
@@ -189,22 +261,46 @@ func replayFold(t *Tree, dir string) (wal.ReplayStats, error) {
 		hint = 1 << 26
 	}
 	state := make(map[string]uint64, hint)
-	st, err := wal.Replay(dir, 0, func(r wal.Record) error {
-		switch r.Op {
+	fold := func(op byte, key []byte, value uint64) error {
+		switch op {
 		case wal.OpInsert:
-			if _, ok := state[string(r.Key)]; !ok {
-				state[string(r.Key)] = r.Value
+			if _, ok := state[string(key)]; !ok {
+				state[string(key)] = value
 			}
 		case wal.OpUpdate:
-			if _, ok := state[string(r.Key)]; ok {
-				state[string(r.Key)] = r.Value
+			if _, ok := state[string(key)]; ok {
+				state[string(key)] = value
 			}
 		case wal.OpDelete:
-			delete(state, string(r.Key))
+			delete(state, string(key))
 		default:
 			return errors.New("bwtree: unknown op in log record")
 		}
 		return nil
+	}
+	st, err := wal.Replay(dir, 0, func(r wal.Record) error {
+		switch r.Op {
+		case wal.OpTxn, wal.OpTxnPrep:
+			// A self-contained commit always applies; a two-phase prepare
+			// applies iff its decision survived (presumed abort). Either
+			// way the record is one frame, so its sub-ops fold all-or-none.
+			if r.Op == wal.OpTxnPrep && !committed(r.Value) {
+				return nil
+			}
+			ops, derr := wal.DecodeTxnOps(r.Key)
+			if derr != nil {
+				return derr
+			}
+			for i := range ops {
+				if ferr := fold(ops[i].Op, ops[i].Key, ops[i].Value); ferr != nil {
+					return ferr
+				}
+			}
+			return nil
+		case wal.OpTxnCommit:
+			return nil // decision only; carries no writes
+		}
+		return fold(r.Op, r.Key, r.Value)
 	})
 	if err != nil || len(state) == 0 {
 		return st, err
@@ -235,7 +331,7 @@ func replayFold(t *Tree, dir string) (wal.ReplayStats, error) {
 // — the tree's final state for a key is determined by that key's own
 // record sequence — so records are partitioned by key hash: one key, one
 // applier, original order. Cross-key interleaving is free parallelism.
-func replayParallel(t *Tree, dir string, afterLSN uint64, seed maphash.Seed) (wal.ReplayStats, error) {
+func replayParallel(t *Tree, dir string, afterLSN uint64, seed maphash.Seed, committed func(uint64) bool) (wal.ReplayStats, error) {
 	nw := runtime.GOMAXPROCS(0)
 	if nw > 8 {
 		nw = 8
@@ -287,22 +383,44 @@ func replayParallel(t *Tree, dir string, afterLSN uint64, seed maphash.Seed) (wa
 			pend[i] = chunk{}
 		}
 	}
-	st, err := wal.Replay(dir, afterLSN, func(r wal.Record) error {
-		switch r.Op {
-		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
-		default:
-			return errors.New("bwtree: unknown op in log record")
-		}
-		i := int(maphash.Bytes(seed, r.Key) % uint64(nw))
+	scatter := func(op byte, key []byte, value uint64) {
+		i := int(maphash.Bytes(seed, key) % uint64(nw))
 		c := &pend[i]
-		c.ops = append(c.ops, r.Op)
-		c.arena = append(c.arena, r.Key...)
+		c.ops = append(c.ops, op)
+		c.arena = append(c.arena, key...)
 		c.koff = append(c.koff, len(c.arena))
-		c.vals = append(c.vals, r.Value)
+		c.vals = append(c.vals, value)
 		if len(c.ops) >= chunkRecs {
 			flush(i)
 		}
-		return nil
+	}
+	st, err := wal.Replay(dir, afterLSN, func(r wal.Record) error {
+		switch r.Op {
+		case wal.OpInsert, wal.OpUpdate, wal.OpDelete:
+			scatter(r.Op, r.Key, r.Value)
+			return nil
+		case wal.OpTxn, wal.OpTxnPrep:
+			// Sub-ops of an applying transaction scatter per key like any
+			// other record: replay only needs per-key order, and a commit's
+			// keys are distinct, so its sub-ops never race each other. The
+			// commit's atomicity was already decided by framing — a record
+			// that survived replays in full.
+			if r.Op == wal.OpTxnPrep && !committed(r.Value) {
+				return nil
+			}
+			ops, derr := wal.DecodeTxnOps(r.Key)
+			if derr != nil {
+				return derr
+			}
+			for i := range ops {
+				scatter(ops[i].Op, ops[i].Key, ops[i].Value)
+			}
+			return nil
+		case wal.OpTxnCommit:
+			return nil
+		default:
+			return errors.New("bwtree: unknown op in log record")
+		}
 	})
 	for i := range chans {
 		flush(i)
@@ -368,6 +486,44 @@ func (d *Durable) Sync() error { return d.w.Sync() }
 func (d *Durable) stripe(key []byte) *sync.Mutex {
 	return &d.stripes[maphash.Bytes(d.seed, key)&0xff]
 }
+
+// NStripes is the number of commit-ordering stripe locks on a Durable.
+// Exported for the transaction layer, which orders multi-key lock
+// acquisition by stripe index.
+const NStripes = 256
+
+// StripeOf returns key's commit-ordering stripe index in [0, NStripes).
+func (d *Durable) StripeOf(key []byte) int {
+	return int(maphash.Bytes(d.seed, key) & 0xff)
+}
+
+// StripeLock acquires stripe i. The transaction layer holds every write
+// stripe of a commit from log append through tree apply — the same
+// protocol as single-key commits, which is what keeps Checkpoint's
+// stripe-sweep barrier sound in the presence of multi-key commits.
+func (d *Durable) StripeLock(i int) { d.stripes[i].Lock() }
+
+// StripeUnlock releases stripe i.
+func (d *Durable) StripeUnlock(i int) { d.stripes[i].Unlock() }
+
+// StripeTryLock attempts stripe i without blocking. Read validation uses
+// it so a reader never waits on a writer (wait-free validation; a failed
+// try is a conservative abort).
+func (d *Durable) StripeTryLock(i int) bool { return d.stripes[i].TryLock() }
+
+// AppendTxn logs one transaction record (wal.OpTxn / OpTxnPrep /
+// OpTxnCommit) and returns its LSN. The caller must hold every write
+// stripe of the transaction across this call and the in-memory apply.
+func (d *Durable) AppendTxn(op byte, txnID uint64, ops []wal.TxnOp) (uint64, error) {
+	return d.w.AppendTxn(op, txnID, ops)
+}
+
+// WaitLSN blocks until lsn is fsynced.
+func (d *Durable) WaitLSN(lsn uint64) error { return d.w.WaitDurable(lsn) }
+
+// SyncOnCommit reports whether the store was opened with the
+// acknowledged-write guarantee.
+func (d *Durable) SyncOnCommit() bool { return d.o.SyncOnCommit }
 
 // DurableSession is a single goroutine's handle to a Durable tree: the
 // wrapped Session plus the logging protocol. Mutations return an error

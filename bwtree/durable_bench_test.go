@@ -31,7 +31,7 @@ func BenchmarkFoldRecover(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t := New(DefaultOptions())
-		st, err := replayFold(t, dir)
+		st, err := replayFold(t, dir, func(uint64) bool { return false })
 		if err != nil || st.Records != n {
 			b.Fatalf("st=%+v err=%v", st, err)
 		}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/bwproto"
 	"repro/internal/obs"
 	"repro/internal/shard"
+	"repro/internal/txn"
 )
 
 func main() {
@@ -79,16 +80,20 @@ func main() {
 			*shards, time.Since(opened).Round(time.Millisecond), rec.SnapshotKeys, rec.Replayed, rec.TornTail)
 	}
 
+	srv := bwproto.NewServer(st)
+
 	var debug *obs.Server
 	if *debugAddr != "" {
-		debug, err = obs.Serve(*debugAddr, shard.DebugVars(st), time.Second)
+		// The transaction engine hangs off the protocol server, so its
+		// counters (txn_commits, txn_conflicts, validate latency) join the
+		// store's series on /metrics.
+		debug, err = obs.Serve(*debugAddr, txn.AugmentVars(shard.DebugVars(st), srv.Txn()), time.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("debug surface on http://%s/debug", debug.Addr())
 	}
 
-	srv := bwproto.NewServer(st)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatal(err)
 	}

@@ -112,7 +112,33 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write sampled phase traces as Chrome trace-event JSON to this file at exit (enables deep tracing)")
 	sampleEvery := flag.Int("phase-sample", 64, "with deep tracing on, phase-sample every Nth operation per worker")
 	stallSecs := flag.Int("stall-secs", 10, "autopsy and fail if the global op counter plateaus for this many seconds (0 = off)")
+	txnMode := flag.Bool("txn", false, "run the bank-transfer transaction soak instead of the mixed workload (see txn.go)")
+	txnAccounts := flag.Uint64("txn-accounts", 64, "txn mode: number of bank accounts")
+	txnInitial := flag.Uint64("txn-initial", 1000, "txn mode: starting balance per account")
+	txnShards := flag.Int("shards", 0, "txn mode: shard count for -wal (0/1 = single durable tree) and -spawn")
+	txnKills := flag.Int("kills", 1, "txn mode: crash/recover (-wal) or SIGKILL/restart (-spawn) cycles during the soak")
+	txnSpawn := flag.String("spawn", "", "txn mode: path to a bwserver binary; spawn it on -wal, drive it over sockets, and kill/restart it mid-soak")
 	flag.Parse()
+
+	if *txnMode {
+		runTxnSoak(txnCfg{
+			duration: *duration,
+			workers:  *workers,
+			accounts: *txnAccounts,
+			initial:  *txnInitial,
+			server:   *serverAddr,
+			spawn:    *txnSpawn,
+			walDir:   *walDir,
+			shards:   *txnShards,
+			kills:    *txnKills,
+			check:    *check,
+			seed:     *seed,
+		})
+		return
+	}
+	if *txnSpawn != "" {
+		log.Fatal("-spawn requires -txn")
+	}
 
 	if *walDir != "" && (*batch > 1 || *check) {
 		log.Fatal("-wal cannot be combined with -batch or -check")

@@ -270,6 +270,67 @@ func (c *Conn) Batch(ops []BatchOp) error {
 	return nil
 }
 
+// GetVersion reads key with its version stamp — the observation to
+// record in a transactional read set (see index.TxnSession).
+func (c *Conn) GetVersion(key []byte) (value uint64, ver uint64, found bool, err error) {
+	r, err := c.roundTrip(OpGetV, func(b []byte) []byte { return appendKey(b, key) })
+	if err != nil {
+		return 0, 0, false, err
+	}
+	f := r.u8("getv found flag")
+	value = r.u64("getv value")
+	ver = r.u64("getv version")
+	if r.err != nil {
+		return 0, 0, false, r.err
+	}
+	return value, ver, f == 1, nil
+}
+
+// CommitTxn submits one transactional commit (see index.TxnSession for
+// the contract) in a single round trip.
+func (c *Conn) CommitTxn(reads []index.TxnRead, writes []index.TxnWrite) (index.TxnResult, error) {
+	if len(reads)+len(writes) > MaxTxnOps {
+		return index.TxnResult{}, fmt.Errorf("bwproto: txn of %d ops exceeds limit %d", len(reads)+len(writes), MaxTxnOps)
+	}
+	r, err := c.roundTrip(OpTxn, func(b []byte) []byte {
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(reads)))
+		for i := range reads {
+			b = appendKey(b, reads[i].Key)
+			b = binary.LittleEndian.AppendUint64(b, reads[i].Ver)
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(writes)))
+		for i := range writes {
+			b = append(b, writes[i].Op)
+			b = appendKey(b, writes[i].Key)
+			b = binary.LittleEndian.AppendUint64(b, writes[i].Value)
+		}
+		return b
+	})
+	if err != nil {
+		return index.TxnResult{}, err
+	}
+	status := r.u8("txn status")
+	id := r.u64("txn id")
+	nvers := int(r.u16("txn version count"))
+	vers := make([]uint64, nvers)
+	for i := 0; i < nvers; i++ {
+		vers[i] = r.u64("txn write version")
+	}
+	if r.err != nil {
+		return index.TxnResult{}, r.err
+	}
+	res := index.TxnResult{TxnID: id, WriteVers: vers}
+	switch status {
+	case TxnWireCommitted:
+		res.Status = index.TxnCommitted
+	case TxnWireConflict:
+		res.Status = index.TxnConflict
+	default:
+		return index.TxnResult{}, fmt.Errorf("bwproto: unknown txn status 0x%02x", status)
+	}
+	return res, nil
+}
+
 // Stats fetches the server's aggregate stats JSON.
 func (c *Conn) Stats() (json.RawMessage, error) {
 	r, err := c.roundTrip(OpStats, func(b []byte) []byte { return b })
@@ -337,6 +398,35 @@ func (ix *NetIndex) Close() {
 		c.Close()
 	}
 }
+
+// NewTxnSession dials one connection for transactional use, making
+// NetIndex an index.TxnStore: transactions run against a live server
+// through the same engine in-process callers use.
+func (ix *NetIndex) NewTxnSession() index.TxnSession {
+	c, err := Dial(ix.addr)
+	if err != nil {
+		panic(fmt.Sprintf("bwproto: dial %s: %v", ix.addr, err))
+	}
+	ix.mu.Lock()
+	ix.conns = append(ix.conns, c)
+	ix.mu.Unlock()
+	return &netTxnSession{c: c}
+}
+
+// netTxnSession adapts a Conn to index.TxnSession. Unlike netSession it
+// returns transport errors instead of panicking: the kill/recover soak
+// drives transactions across deliberate server crashes.
+type netTxnSession struct{ c *Conn }
+
+func (s *netTxnSession) GetVersion(key []byte) (uint64, uint64, bool, error) {
+	return s.c.GetVersion(key)
+}
+
+func (s *netTxnSession) CommitTxn(reads []index.TxnRead, writes []index.TxnWrite) (index.TxnResult, error) {
+	return s.c.CommitTxn(reads, writes)
+}
+
+func (s *netTxnSession) Release() { s.c.Close() }
 
 // netSession adapts a Conn to index.BatchSession.
 type netSession struct {

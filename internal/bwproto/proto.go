@@ -24,6 +24,12 @@
 //	OpScan  u16 klen, start, u32 n                    ordered range read
 //	OpBatch u16 count, count×(u8 sub, u16 klen, key[, u64 val])
 //	OpStats                                           aggregate counters
+//	OpGetV  u16 klen, key                             versioned lookup
+//	OpTxn   u16 nreads,  nreads×(u16 klen, key, u64 ver),
+//	        u16 nwrites, nwrites×(u8 op, u16 klen, key, u64 val)
+//	                                                  transactional commit
+//	        (op is index.TxnPut or index.TxnDel; a read's ver is the
+//	        stamp OpGetV reported, 0 for an observed-absent key)
 //
 // Responses (server → client) carry a status byte in the opcode slot:
 //
@@ -36,6 +42,12 @@
 //	        client resumes from the successor of the last key
 //	    Batch: u16 count, count×(u8 sub, result as above)
 //	    Stats: u32 jsonlen, json
+//	    GetV:  u8 found, u64 val, u64 ver
+//	    Txn:   u8 status (0 committed, 1 conflict), u64 txnID,
+//	        u16 nvers, nvers×u64 — post-commit write versions in write
+//	        order; a zero entry marks a write that installed no new
+//	        version (a delete, or a put whose value was unchanged);
+//	        all zero on conflict
 //	StatusErr  + u16 msglen, msg — the request was malformed or exceeded
 //	    a limit; the connection stays usable and responses stay in
 //	    request order. Only an undecodable stream (bogus length prefix)
@@ -60,6 +72,14 @@ const (
 	OpScan  = 0x06
 	OpBatch = 0x07
 	OpStats = 0x08
+	OpGetV  = 0x09
+	OpTxn   = 0x0A
+)
+
+// Txn response status bytes (the u8 after StatusOK in an OpTxn reply).
+const (
+	TxnWireCommitted = 0x00
+	TxnWireConflict  = 0x01
 )
 
 // Response status codes.
@@ -81,6 +101,9 @@ const (
 	MaxScan = 1 << 16
 	// MaxBatch bounds one batch frame's sub-operation count.
 	MaxBatch = 1 << 14
+	// MaxTxnOps bounds one transaction frame's combined read- and
+	// write-set size.
+	MaxTxnOps = 1 << 12
 )
 
 // header is the fixed part of every frame after the length prefix.

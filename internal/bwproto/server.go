@@ -12,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/index"
 	"repro/internal/shard"
+	"repro/internal/txn"
 )
 
 // ServerStats are the network tier's own counters, aggregated across
@@ -31,8 +33,9 @@ type ServerStats struct {
 // goroutine so response serialization never blocks request execution —
 // request pipelining with strict per-connection response ordering.
 type Server struct {
-	st *shard.Store
-	ln net.Listener
+	st  *shard.Store
+	txs *txn.Store
+	ln  net.Listener
 
 	mu       sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -47,12 +50,17 @@ type Server struct {
 }
 
 // NewServer wraps st; call Serve (usually in a goroutine) to accept.
+// The server owns the store's transaction engine: it must be the only
+// txn.Store over st, since transaction IDs are allocated per engine.
 func NewServer(st *shard.Store) *Server {
-	return &Server{st: st, conns: make(map[net.Conn]struct{})}
+	return &Server{st: st, txs: txn.NewForShard(st), conns: make(map[net.Conn]struct{})}
 }
 
 // Store returns the store the server fronts.
 func (sv *Server) Store() *shard.Store { return sv.st }
+
+// Txn returns the server's transaction engine (for stats/metrics).
+func (sv *Server) Txn() *txn.Store { return sv.txs }
 
 // Stats snapshots the network-tier counters.
 func (sv *Server) Stats() ServerStats {
@@ -165,6 +173,14 @@ func (sv *Server) serve(conn net.Conn) {
 	defer conn.Close()
 	sess := sv.st.NewSession()
 	defer sess.Release()
+	// The transaction session is built lazily: most connections never
+	// issue OpGetV/OpTxn, and the session pins per-shard tree sessions.
+	var txs *txn.Session
+	defer func() {
+		if txs != nil {
+			txs.Release()
+		}
+	}()
 
 	out := make(chan []byte, outQueue)
 	var ww sync.WaitGroup
@@ -219,7 +235,13 @@ func (sv *Server) serve(conn net.Conn) {
 		sv.frames.Add(1)
 		reqID := binary.LittleEndian.Uint32(frame)
 		op := frame[4]
-		resp, fatal := sv.handle(sess, reqID, op, frame[headerLen:], &scratch)
+		getTxs := func() *txn.Session {
+			if txs == nil {
+				txs = sv.txs.NewSession()
+			}
+			return txs
+		}
+		resp, fatal := sv.handle(sess, getTxs, reqID, op, frame[headerLen:], &scratch)
 		out <- resp
 		if fatal {
 			return
@@ -238,7 +260,7 @@ func errFrame(reqID uint32, msg string) []byte {
 // handle executes one decoded request and renders its response frame.
 // fatal reports that the connection must close after the response is
 // written (the store is going away).
-func (sv *Server) handle(sess *shard.Session, reqID uint32, op byte, payload []byte, scratch *[]uint64) (resp []byte, fatal bool) {
+func (sv *Server) handle(sess *shard.Session, getTxs func() *txn.Session, reqID uint32, op byte, payload []byte, scratch *[]uint64) (resp []byte, fatal bool) {
 	r := &reader{buf: payload}
 	fail := func(err error) []byte {
 		sv.protoErrors.Add(1)
@@ -303,6 +325,31 @@ func (sv *Server) handle(sess *shard.Session, reqID uint32, op byte, payload []b
 
 	case OpBatch:
 		return sv.batch(sess, reqID, r, scratch)
+
+	case OpGetV:
+		key, err := r.key()
+		if err != nil {
+			return fail(err), false
+		}
+		if r.rest() != 0 {
+			return fail(fmt.Errorf("%d trailing bytes after GetV", r.rest())), false
+		}
+		val, ver, found, gerr := getTxs().GetVersion(key)
+		if gerr != nil {
+			return errFrame(reqID, "store shutting down: "+gerr.Error()), true
+		}
+		return appendFrame(nil, reqID, StatusOK, func(b []byte) []byte {
+			if found {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = binary.LittleEndian.AppendUint64(b, val)
+			return binary.LittleEndian.AppendUint64(b, ver)
+		}), false
+
+	case OpTxn:
+		return sv.txnCommit(getTxs(), reqID, r)
 
 	case OpStats:
 		if r.rest() != 0 {
@@ -448,6 +495,88 @@ func (sv *Server) batch(sess *shard.Session, reqID uint32, r *reader, scratch *[
 		return errFrame(reqID, r.err.Error()), false
 	}
 	return resp, false
+}
+
+// txnCommit decodes one OpTxn frame and runs it through the store's
+// transaction engine. Read and write keys alias the request frame —
+// CommitTxn does not retain them past the call.
+func (sv *Server) txnCommit(txs *txn.Session, reqID uint32, r *reader) ([]byte, bool) {
+	nreads := int(r.u16("txn read count"))
+	if r.err != nil {
+		sv.protoErrors.Add(1)
+		return errFrame(reqID, r.err.Error()), false
+	}
+	reads := make([]index.TxnRead, 0, nreads)
+	for i := 0; i < nreads; i++ {
+		key, err := r.key()
+		if err != nil {
+			sv.protoErrors.Add(1)
+			return errFrame(reqID, fmt.Sprintf("txn read %d: %v", i, err)), false
+		}
+		ver := r.u64("txn read version")
+		if r.err != nil {
+			sv.protoErrors.Add(1)
+			return errFrame(reqID, r.err.Error()), false
+		}
+		reads = append(reads, index.TxnRead{Key: key, Ver: ver})
+	}
+	nwrites := int(r.u16("txn write count"))
+	if r.err != nil {
+		sv.protoErrors.Add(1)
+		return errFrame(reqID, r.err.Error()), false
+	}
+	if nreads+nwrites > MaxTxnOps {
+		sv.protoErrors.Add(1)
+		return errFrame(reqID, fmt.Sprintf("txn of %d ops exceeds limit %d", nreads+nwrites, MaxTxnOps)), false
+	}
+	writes := make([]index.TxnWrite, 0, nwrites)
+	for i := 0; i < nwrites; i++ {
+		op := r.u8("txn write op")
+		key, err := r.key()
+		if err != nil {
+			sv.protoErrors.Add(1)
+			return errFrame(reqID, fmt.Sprintf("txn write %d: %v", i, err)), false
+		}
+		val := r.u64("txn write value")
+		if r.err != nil {
+			sv.protoErrors.Add(1)
+			return errFrame(reqID, r.err.Error()), false
+		}
+		if op != index.TxnPut && op != index.TxnDel {
+			sv.protoErrors.Add(1)
+			return errFrame(reqID, fmt.Sprintf("txn write %d: unknown op 0x%02x", i, op)), false
+		}
+		writes = append(writes, index.TxnWrite{Op: op, Key: key, Value: val})
+	}
+	if r.rest() != 0 {
+		sv.protoErrors.Add(1)
+		return errFrame(reqID, fmt.Sprintf("%d trailing bytes after Txn", r.rest())), false
+	}
+	res, err := txs.CommitTxn(reads, writes)
+	if err != nil {
+		if err == txn.ErrDuplicateWriteKey {
+			sv.protoErrors.Add(1)
+			return errFrame(reqID, err.Error()), false
+		}
+		return errFrame(reqID, "store shutting down: "+err.Error()), true
+	}
+	return appendFrame(nil, reqID, StatusOK, func(b []byte) []byte {
+		status := byte(TxnWireCommitted)
+		if res.Status == index.TxnConflict {
+			status = TxnWireConflict
+		}
+		b = append(b, status)
+		b = binary.LittleEndian.AppendUint64(b, res.TxnID)
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(writes)))
+		for i := 0; i < len(writes); i++ {
+			var v uint64
+			if i < len(res.WriteVers) {
+				v = res.WriteVers[i]
+			}
+			b = binary.LittleEndian.AppendUint64(b, v)
+		}
+		return b
+	}), false
 }
 
 // ErrServerClosed mirrors net.ErrClosed for callers that race Shutdown.

@@ -1,0 +1,207 @@
+package bwproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/index"
+)
+
+func tkey(i uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+// TestTxnRoundTrip drives the transactional opcodes through a real
+// socket: versioned reads, a multi-key commit, first-committer-wins
+// conflict, and the malformed-frame error path.
+func TestTxnRoundTrip(t *testing.T) {
+	_, addr := startServer(t, 4)
+	c := dialConn(t, addr)
+
+	// Absent key: found=false, version 0 — the observation a transaction
+	// records to assert continued absence at commit.
+	_, ver, found, err := c.GetVersion(tkey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found || ver != 0 {
+		t.Fatalf("absent key: found=%v ver=%d, want false/0", found, ver)
+	}
+
+	// Multi-key commit against the absence we just observed.
+	res, err := c.CommitTxn(
+		[]index.TxnRead{{Key: tkey(1), Ver: 0}},
+		[]index.TxnWrite{
+			{Op: index.TxnPut, Key: tkey(1), Value: 10},
+			{Op: index.TxnPut, Key: tkey(2), Value: 20},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != index.TxnCommitted {
+		t.Fatalf("commit status = %v", res.Status)
+	}
+	if len(res.WriteVers) != 2 || res.WriteVers[0] == 0 || res.WriteVers[1] == 0 {
+		t.Fatalf("write versions = %v, want two non-zero stamps", res.WriteVers)
+	}
+
+	// The committed values are visible with the stamps the commit reported.
+	v, ver1, found, err := c.GetVersion(tkey(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || v != 10 || ver1 != res.WriteVers[0] {
+		t.Fatalf("key 1 = (%d, %d, %v), want (10, %d, true)", v, ver1, found, res.WriteVers[0])
+	}
+
+	// A stale read (the pre-commit version 0) must now conflict.
+	res2, err := c.CommitTxn(
+		[]index.TxnRead{{Key: tkey(1), Ver: 0}},
+		[]index.TxnWrite{{Op: index.TxnPut, Key: tkey(3), Value: 30}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != index.TxnConflict {
+		t.Fatalf("stale-read commit status = %v, want conflict", res2.Status)
+	}
+	if _, _, found, _ := c.GetVersion(tkey(3)); found {
+		t.Fatal("conflicted transaction's write is visible")
+	}
+
+	// Duplicate write key is a client bug: StatusErr, connection survives.
+	_, err = c.CommitTxn(nil, []index.TxnWrite{
+		{Op: index.TxnPut, Key: tkey(9), Value: 1},
+		{Op: index.TxnDel, Key: tkey(9)},
+	})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("duplicate write key: err = %v, want RemoteError", err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("connection dead after StatusErr: %v", err)
+	}
+
+	// Deleting through a transaction removes the key atomically with the
+	// rest of the write set.
+	cur, curVer, _, err := c.GetVersion(tkey(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := c.CommitTxn(
+		[]index.TxnRead{{Key: tkey(2), Ver: curVer}},
+		[]index.TxnWrite{
+			{Op: index.TxnDel, Key: tkey(2)},
+			{Op: index.TxnPut, Key: tkey(4), Value: cur},
+		},
+	)
+	if err != nil || res3.Status != index.TxnCommitted {
+		t.Fatalf("move commit: %v %v", res3.Status, err)
+	}
+	if _, _, found, _ := c.GetVersion(tkey(2)); found {
+		t.Fatal("transactional delete left the key behind")
+	}
+	if v, _, found, _ := c.GetVersion(tkey(4)); !found || v != cur {
+		t.Fatalf("moved value = (%d, %v), want (%d, true)", v, found, cur)
+	}
+}
+
+// TestTxnBankOverSocket runs the bank-transfer invariant across the wire:
+// concurrent clients move money between accounts sharded over four trees,
+// and the total is conserved — cross-shard atomicity observed end to end.
+func TestTxnBankOverSocket(t *testing.T) {
+	_, addr := startServer(t, 4)
+
+	const accounts = 64
+	const initial = 1000
+	setup := dialConn(t, addr)
+	for i := 0; i < accounts; i++ {
+		if _, err := setup.Insert(tkey(uint64(i)), initial); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	workers, transfers := 8, 200
+	if testing.Short() {
+		workers, transfers = 4, 50
+	}
+	var wg sync.WaitGroup
+	var commits, conflicts int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ix, err := DialIndex(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer ix.Close()
+			ts := ix.NewTxnSession()
+			defer ts.Release()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var myCommits, myConflicts int64
+			for i := 0; i < transfers; i++ {
+				from := uint64(rng.Intn(accounts))
+				to := uint64(rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				fv, fver, ok1, err1 := ts.GetVersion(tkey(from))
+				tv, tver, ok2, err2 := ts.GetVersion(tkey(to))
+				if err1 != nil || err2 != nil || !ok1 || !ok2 {
+					t.Errorf("read accounts: %v %v %v %v", ok1, ok2, err1, err2)
+					return
+				}
+				amount := uint64(rng.Intn(10))
+				if fv < amount {
+					continue
+				}
+				res, err := ts.CommitTxn(
+					[]index.TxnRead{{Key: tkey(from), Ver: fver}, {Key: tkey(to), Ver: tver}},
+					[]index.TxnWrite{
+						{Op: index.TxnPut, Key: tkey(from), Value: fv - amount},
+						{Op: index.TxnPut, Key: tkey(to), Value: tv + amount},
+					},
+				)
+				if err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+				if res.Status == index.TxnCommitted {
+					myCommits++
+				} else {
+					myConflicts++
+				}
+			}
+			mu.Lock()
+			commits += myCommits
+			conflicts += myConflicts
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var sum uint64
+	for i := 0; i < accounts; i++ {
+		v, _, found, err := setup.GetVersion(tkey(uint64(i)))
+		if err != nil || !found {
+			t.Fatalf("account %d: found=%v err=%v", i, found, err)
+		}
+		sum += v
+	}
+	if sum != accounts*initial {
+		t.Fatalf("bank sum = %d, want %d (money not conserved)", sum, accounts*initial)
+	}
+	t.Logf("bank over socket: %d commits, %d conflicts, sum conserved", commits, conflicts)
+}

@@ -47,12 +47,20 @@ func (t *Tree) BulkLoad(next func() (key []byte, value uint64, ok bool)) error {
 	var prevKey []byte
 	first := true
 
+	// All bulk-loaded records share one version stamp: each key has only
+	// this single state, so freshness per publish is preserved.
+	loadVer := t.verCtr.Add(1)
 	flushLeaf := func(keys [][]byte, vals []uint64) {
+		vers := make([]uint64, len(vals))
+		for i := range vers {
+			vers[i] = loadVer
+		}
 		nb := &delta{
 			kind:     kLeafBase,
 			isLeaf:   true,
 			size:     int32(len(keys)),
 			vals:     vals,
+			vers:     vers,
 			rightSib: invalidNode,
 		}
 		t.setBaseKeys(nb, keys)

@@ -14,6 +14,9 @@ import (
 type collected struct {
 	keys [][]byte
 	vals []uint64
+	// vers carries each leaf record's preserved version stamp, parallel
+	// to vals (see delta.ver).
+	vers []uint64
 	kids []nodeID
 	leaf bool
 }
@@ -156,6 +159,7 @@ func (s *Session) buildBase(c collected, head *delta) *delta {
 	if c.leaf {
 		nb.kind = kLeafBase
 		nb.vals = c.vals
+		nb.vers = c.vers
 	} else {
 		nb.kind = kInnerBase
 		nb.kids = c.kids
@@ -192,6 +196,7 @@ func (s *Session) collect(head *delta) collected {
 type effRec struct {
 	key    []byte
 	val    uint64
+	ver    uint64
 	offset int32
 	del    bool
 }
@@ -227,7 +232,7 @@ func (s *Session) gatherLeafRecords(head *delta, ins, del []effRec) (insOut, del
 				break // mutation self-test bug: the record is lost (smobug_on.go)
 			}
 			if !decided(d.key, d.value) {
-				ins = append(ins, effRec{key: d.key, val: d.value, offset: d.offset})
+				ins = append(ins, effRec{key: d.key, val: d.value, ver: d.ver, offset: d.offset})
 				// A matching base item (possible when an older delete in
 				// this same chain removed the key first) must still be
 				// cancelled; Rule #3 drops this entry when no base item
@@ -253,7 +258,7 @@ func (s *Session) gatherLeafRecords(head *delta, ins, del []effRec) (insOut, del
 					// half — force the baseline replay.
 					off = -1
 				}
-				ins = append(ins, effRec{key: d.key, val: d.value, offset: off})
+				ins = append(ins, effRec{key: d.key, val: d.value, ver: d.ver, offset: off})
 			}
 			if delOK {
 				del = append(del, effRec{key: d.key, val: d.oldValue, offset: d.offset, del: true})
@@ -304,6 +309,7 @@ func (s *Session) collectLeafBaseline(head *delta) collected {
 			if survives(k, v, ins, del, nonUnique) {
 				c.keys = append(c.keys, k)
 				c.vals = append(c.vals, v)
+				c.vers = append(c.vers, b.baseVer(i))
 			}
 		}
 	}
@@ -312,6 +318,7 @@ func (s *Session) collectLeafBaseline(head *delta) collected {
 		if keyLT(ins[i].key, head.highKey) {
 			c.keys = append(c.keys, ins[i].key)
 			c.vals = append(c.vals, ins[i].val)
+			c.vers = append(c.vers, ins[i].ver)
 		}
 	}
 	sortLeafItems(&c)
@@ -364,10 +371,11 @@ func sortLeafItems(c *collected) {
 	})
 	keys := make([][]byte, len(idx))
 	vals := make([]uint64, len(idx))
+	vers := make([]uint64, len(idx))
 	for i, j := range idx {
-		keys[i], vals[i] = c.keys[j], c.vals[j]
+		keys[i], vals[i], vers[i] = c.keys[j], c.vals[j], c.vers[j]
 	}
-	c.keys, c.vals = keys, vals
+	c.keys, c.vals, c.vers = keys, vals, vers
 }
 
 // collectLeafFast is the fast consolidation algorithm of §4.3: delta
@@ -416,6 +424,7 @@ func (s *Session) collectLeafFast(head *delta) (collected, bool) {
 	c := collected{leaf: true}
 	c.keys = make([][]byte, 0, baseEnd+len(ins))
 	c.vals = make([]uint64, 0, baseEnd+len(ins))
+	c.vers = make([]uint64, 0, baseEnd+len(ins))
 	ii, di := 0, 0
 	consumed := make([]bool, len(del))
 	for j := 0; j < baseEnd; j++ {
@@ -424,6 +433,7 @@ func (s *Session) collectLeafFast(head *delta) (collected, bool) {
 			if keyLT(ins[ii].key, head.highKey) {
 				c.keys = append(c.keys, ins[ii].key)
 				c.vals = append(c.vals, ins[ii].val)
+				c.vers = append(c.vers, ins[ii].ver)
 			}
 			ii++
 		}
@@ -450,12 +460,14 @@ func (s *Session) collectLeafFast(head *delta) (collected, bool) {
 		if !dead {
 			c.keys = append(c.keys, bk)
 			c.vals = append(c.vals, base.vals[j])
+			c.vers = append(c.vers, base.baseVer(j))
 		}
 	}
 	for ; ii < len(ins); ii++ {
 		if keyLT(ins[ii].key, head.highKey) {
 			c.keys = append(c.keys, ins[ii].key)
 			c.vals = append(c.vals, ins[ii].val)
+			c.vers = append(c.vers, ins[ii].ver)
 		}
 	}
 	return c, true

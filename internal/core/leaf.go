@@ -15,6 +15,12 @@ type seekResult struct {
 	// base, its position; for a key decided by a delta record, that
 	// record's offset. Negative when unknown.
 	baseOff int32
+	// ver is the version stamp of the record that decided the seek: the
+	// delta's stamp, or the base record's preserved stamp. Absent keys
+	// report 0 ("no state"), including keys decided by a delete delta —
+	// absence has no version, so a reader validating an absent key only
+	// needs the key to still be absent.
+	ver uint64
 }
 
 // leafSeek replays a leaf Delta Chain for key under unique-key semantics:
@@ -31,7 +37,7 @@ func (s *Session) leafSeek(head *delta, key []byte) seekResult {
 		case kLeafInsert:
 			c := bytes.Compare(key, d.key)
 			if c == 0 {
-				return seekResult{found: true, value: d.value, baseOff: d.offset}
+				return seekResult{found: true, value: d.value, baseOff: d.offset, ver: d.ver}
 			}
 			if shortcuts && d.offset >= 0 {
 				// d.key is absent from the base; d.offset is its would-be
@@ -61,7 +67,7 @@ func (s *Session) leafSeek(head *delta, key []byte) seekResult {
 		case kLeafUpdate:
 			c := bytes.Compare(key, d.key)
 			if c == 0 {
-				return seekResult{found: true, value: d.value, baseOff: d.offset}
+				return seekResult{found: true, value: d.value, baseOff: d.offset, ver: d.ver}
 			}
 			if shortcuts && d.offset >= 0 {
 				if c > 0 {
@@ -93,7 +99,7 @@ func (s *Session) leafSeek(head *delta, key []byte) seekResult {
 			pos, exact := d.baseSearchRange(key, l, h)
 			s.phEnd(obs.PhaseBaseSearch, t0, uint64(h-l))
 			if exact {
-				return seekResult{found: true, value: d.vals[pos], baseOff: int32(pos)}
+				return seekResult{found: true, value: d.vals[pos], baseOff: int32(pos), ver: d.baseVer(pos)}
 			}
 			return seekResult{found: false, baseOff: int32(pos)}
 		default:

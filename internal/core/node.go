@@ -73,6 +73,14 @@ type delta struct {
 	value uint64
 	// oldValue is the value replaced by a kLeafUpdate.
 	oldValue uint64
+	// ver is the record's version stamp, drawn from the tree-global
+	// counter when a leaf insert/update/delete is published. Versions are
+	// the observation primitive of the optimistic transaction layer
+	// (internal/txn): a reader records the version it saw and a validator
+	// re-reads it, so any intervening publish — which necessarily drew a
+	// fresh counter value — is detected. Absent keys read as version 0.
+	// Versions are in-memory only; recovery restamps from fresh counters.
+	ver uint64
 	// child is the routed node: the new separator's child for
 	// kInnerInsert, and the new right sibling for kSplit.
 	child nodeID
@@ -108,6 +116,10 @@ type delta struct {
 	nil0  bool
 	vals  []uint64
 	kids  []nodeID
+	// vers carries the per-record version stamps of a leaf base, parallel
+	// to vals; consolidation preserves each surviving record's stamp so a
+	// record's version only changes when its value may have.
+	vers []uint64
 
 	// slab is the node's pre-allocated delta area (bases only, when the
 	// Preallocate optimization is on).
@@ -195,6 +207,16 @@ func (s *slab) used() int {
 		u = len(s.slots)
 	}
 	return u
+}
+
+// baseVer returns the version stamp of base record i, tolerating bases
+// built before version threading existed (nil vers reads as 0, the
+// "no observation" stamp).
+func (n *delta) baseVer(i int) uint64 {
+	if i < len(n.vers) {
+		return n.vers[i]
+	}
+	return 0
 }
 
 // inheritFrom copies the logical node's attributes from the current chain

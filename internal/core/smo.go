@@ -50,7 +50,7 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 	// Stage I: the new right sibling.
 	rid := t.mt.Allocate()
 	right := s.buildBase(collected{
-		keys: c.keys[mid:], vals: sliceVals(c.vals, mid), kids: sliceKids(c.kids, mid), leaf: c.leaf,
+		keys: c.keys[mid:], vals: sliceVals(c.vals, mid), vers: sliceVals(c.vers, mid), kids: sliceKids(c.kids, mid), leaf: c.leaf,
 	}, head)
 	right.lowKey = splitKey
 	schedPoint(SPSplitPublish, id, rid, splitKey)
@@ -82,7 +82,7 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 	// Fold the left half into a consolidated base. Failure just means a
 	// concurrent append; a later consolidation will fold the split.
 	left := s.buildBase(collected{
-		keys: c.keys[:mid], vals: sliceVals(c.vals, -mid), kids: sliceKids(c.kids, -mid), leaf: c.leaf,
+		keys: c.keys[:mid], vals: sliceVals(c.vals, -mid), vers: sliceVals(c.vers, -mid), kids: sliceKids(c.kids, -mid), leaf: c.leaf,
 	}, head)
 	left.highKey = splitKey
 	left.rightSib = rid
@@ -149,12 +149,12 @@ func (s *Session) splitRoot(head *delta, c collected) {
 	lid, rid := t.mt.Allocate(), t.mt.Allocate()
 
 	left := s.buildBase(collected{
-		keys: c.keys[:mid], vals: sliceVals(c.vals, -mid), kids: sliceKids(c.kids, -mid), leaf: c.leaf,
+		keys: c.keys[:mid], vals: sliceVals(c.vals, -mid), vers: sliceVals(c.vers, -mid), kids: sliceKids(c.kids, -mid), leaf: c.leaf,
 	}, head)
 	left.highKey = splitKey
 	left.rightSib = rid
 	right := s.buildBase(collected{
-		keys: c.keys[mid:], vals: sliceVals(c.vals, mid), kids: sliceKids(c.kids, mid), leaf: c.leaf,
+		keys: c.keys[mid:], vals: sliceVals(c.vals, mid), vers: sliceVals(c.vers, mid), kids: sliceKids(c.kids, mid), leaf: c.leaf,
 	}, head)
 	right.lowKey = splitKey
 	t.mt.Store(lid, left)

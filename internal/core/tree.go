@@ -39,6 +39,12 @@ type Tree struct {
 	// Options.FlightRecorderSize is set; nil otherwise.
 	deep *obs.Deep
 
+	// verCtr issues version stamps for leaf records: every published leaf
+	// delta draws a fresh value, so two successive states of one key never
+	// share a stamp — the inequality the optimistic transaction layer's
+	// read validation relies on. See delta.ver.
+	verCtr atomic.Uint64
+
 	mu        sync.Mutex // guards sessions registry (cold path)
 	sessions  map[*Session]struct{}
 	closed    sessionStats        // counters absorbed from released sessions

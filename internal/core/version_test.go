@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func vkey(i uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestLookupVersionBasics(t *testing.T) {
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	s := tr.NewSession()
+	defer s.Release()
+
+	if _, ver, found := s.LookupVersion(vkey(1)); found || ver != 0 {
+		t.Fatalf("absent key: ver=%d found=%v, want 0,false", ver, found)
+	}
+	s.Insert(vkey(1), 10)
+	_, v1, found := s.LookupVersion(vkey(1))
+	if !found || v1 == 0 {
+		t.Fatalf("after insert: ver=%d found=%v", v1, found)
+	}
+	s.Update(vkey(1), 20)
+	val, v2, found := s.LookupVersion(vkey(1))
+	if !found || val != 20 {
+		t.Fatalf("after update: val=%d found=%v", val, found)
+	}
+	if v2 <= v1 {
+		t.Fatalf("update version %d not above insert version %d", v2, v1)
+	}
+	// Stability: re-reading an untouched key returns the same stamp.
+	if _, v3, _ := s.LookupVersion(vkey(1)); v3 != v2 {
+		t.Fatalf("version moved without a write: %d -> %d", v2, v3)
+	}
+	s.Delete(vkey(1), 0)
+	if _, ver, found := s.LookupVersion(vkey(1)); found || ver != 0 {
+		t.Fatalf("after delete: ver=%d found=%v, want 0,false", ver, found)
+	}
+	// Reinsert gets a fresh, larger stamp.
+	s.Insert(vkey(1), 30)
+	if _, v4, _ := s.LookupVersion(vkey(1)); v4 <= v2 {
+		t.Fatalf("reinsert version %d not above %d", v4, v2)
+	}
+}
+
+// TestLookupVersionSurvivesConsolidation drives enough writes through
+// small nodes that records migrate delta -> consolidated base -> split
+// children, and checks every key still reports the stamp observed right
+// after its last write. A lost or reassigned stamp would make the
+// transaction layer abort (or worse, validate) spuriously.
+func TestLookupVersionSurvivesConsolidation(t *testing.T) {
+	for _, opts := range []Options{DefaultOptions(), BaselineOptions()} {
+		opts.LeafNodeSize = 16
+		opts.InnerNodeSize = 16
+		opts.LeafChainLength = 4
+		tr := New(opts)
+		s := tr.NewSession()
+
+		const n = 4000
+		want := make(map[uint64]uint64, n)
+		for i := uint64(0); i < n; i++ {
+			s.Insert(vkey(i), i)
+			_, v, found := s.LookupVersion(vkey(i))
+			if !found {
+				t.Fatalf("key %d missing after insert", i)
+			}
+			want[i] = v
+		}
+		for i := uint64(0); i < n; i += 3 {
+			s.Update(vkey(i), i*2)
+			_, v, _ := s.LookupVersion(vkey(i))
+			want[i] = v
+		}
+		// More inserts to force additional consolidations over the updated
+		// records.
+		for i := uint64(n); i < n+1000; i++ {
+			s.Insert(vkey(i), i)
+			_, v, _ := s.LookupVersion(vkey(i))
+			want[i] = v
+		}
+		for i, wv := range want {
+			_, v, found := s.LookupVersion(vkey(i))
+			if !found {
+				t.Fatalf("key %d lost", i)
+			}
+			if v != wv {
+				t.Fatalf("key %d version drifted: got %d want %d", i, v, wv)
+			}
+		}
+		s.Release()
+		tr.Close()
+	}
+}
+
+func TestLookupVersionBulkLoad(t *testing.T) {
+	tr := New(DefaultOptions())
+	defer tr.Close()
+	i := uint64(0)
+	if err := tr.BulkLoad(func() ([]byte, uint64, bool) {
+		if i >= 100 {
+			return nil, 0, false
+		}
+		k, v := vkey(i), i
+		i++
+		return k, v, true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.NewSession()
+	defer s.Release()
+	_, v0, found := s.LookupVersion(vkey(0))
+	if !found || v0 == 0 {
+		t.Fatalf("bulk-loaded key has ver=%d found=%v", v0, found)
+	}
+	for i := uint64(1); i < 100; i++ {
+		if _, v, _ := s.LookupVersion(vkey(i)); v != v0 {
+			t.Fatalf("bulk-loaded keys differ in stamp: %d vs %d", v, v0)
+		}
+	}
+	// A post-load write moves past the load stamp.
+	s.Update(vkey(5), 99)
+	if _, v, _ := s.LookupVersion(vkey(5)); v <= v0 {
+		t.Fatalf("post-load update stamp %d not above load stamp %d", v, v0)
+	}
+}

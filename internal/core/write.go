@@ -90,6 +90,11 @@ func (s *Session) appendLeaf(tr *traversal, k kind, key []byte, value, oldValue 
 	d.oldValue = oldValue
 	d.size = head.size + sizeDelta
 	d.offset = off
+	// Stamp before publication: once the CaS lands, any reader of this
+	// record observes a version no earlier state of the key ever carried.
+	// A failed CaS wastes the stamp, which is harmless (stamps need only
+	// be fresh, not dense).
+	d.ver = s.t.verCtr.Add(1)
 	schedPoint(SPLeafPrepend, tr.id, 0, key)
 	// Boundary invariant (DESIGN.md "The delta-prepend boundary
 	// invariant"): the CaS below validates against the exact head the
@@ -336,6 +341,9 @@ func (s *Session) insertInPlace(tr *traversal, key []byte, value uint64) (ok, in
 	head.vals = append(head.vals, 0)
 	copy(head.vals[pos+1:], head.vals[pos:])
 	head.vals[pos] = value
+	head.vers = append(head.vers, 0)
+	copy(head.vers[pos+1:], head.vers[pos:])
+	head.vers[pos] = s.t.verCtr.Add(1)
 	head.size++
 	if int(head.size) > s.t.opts.LeafNodeSize {
 		s.consolidate(tr, head)
@@ -356,6 +364,9 @@ func (s *Session) deleteInPlace(tr *traversal, key []byte, value uint64) (ok, de
 	}
 	head.keys = append(head.keys[:pos], head.keys[pos+1:]...)
 	head.vals = append(head.vals[:pos], head.vals[pos+1:]...)
+	if len(head.vers) > pos {
+		head.vers = append(head.vers[:pos], head.vers[pos+1:]...)
+	}
 	head.size--
 	return true, true
 }

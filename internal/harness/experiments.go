@@ -61,6 +61,7 @@ func Experiments() []Experiment {
 		{"durability", "WAL cost, group-commit shape, and recovery rates, JSON report + gates", Durability},
 		{"obs-overhead", "Observability-overhead gate: disabled probes vs -tags notrace build (<2%), sampled-tracing cost, JSON report", ObsOverhead},
 		{"server", "Sharded serving tier over loopback TCP: pipelined vs point round trips, scan mix, JSON report + gate", ServerGate},
+		{"txn", "OCC multi-key transactions: bank transfers at two contention levels, read-only audits, OpTxn over loopback, serializability check, JSON report + gate", TxnGate},
 	}
 }
 

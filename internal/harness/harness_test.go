@@ -108,6 +108,10 @@ func TestExperimentsSmoke(t *testing.T) {
 			// only has to complete cleanly.
 			t.Setenv("SERVER_GATE_OUT", filepath.Join(t.TempDir(), "BENCH_server.json"))
 			t.Setenv("SERVER_GATE_BASELINE", filepath.Join(t.TempDir(), "absent.json"))
+			// txn: same — the correctness checks (money conservation,
+			// serializability) still run at full strength.
+			t.Setenv("TXN_GATE_OUT", filepath.Join(t.TempDir(), "BENCH_txn.json"))
+			t.Setenv("TXN_GATE_BASELINE", filepath.Join(t.TempDir(), "absent.json"))
 			var b strings.Builder
 			e.Run(&b, sc)
 			if !strings.Contains(b.String(), "===") {

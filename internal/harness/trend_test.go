@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTrendListsCommittedBaselines runs Trend over the repo's real bench/
+// directory and asserts every committed baseline file shows up as a
+// series with at least one point. This is the registry of gated
+// experiments: adding a new BENCH_*.json without trend coverage, or
+// renaming one, fails here.
+func TestTrendListsCommittedBaselines(t *testing.T) {
+	var b strings.Builder
+	if err := Trend(&b, "../../bench", true); err != nil {
+		t.Fatalf("trend over ../../bench: %v", err)
+	}
+	var series []TrendSeries
+	if err := json.Unmarshal([]byte(b.String()), &series); err != nil {
+		t.Fatalf("trend JSON: %v", err)
+	}
+	got := make(map[string]int)
+	for _, s := range series {
+		got[s.File] = len(s.Points)
+	}
+	for _, want := range []string{
+		"BENCH_hotpath.json",
+		"BENCH_flatnode.json",
+		"BENCH_durability.json",
+		"BENCH_obs.json",
+		"BENCH_server.json",
+		"BENCH_txn.json",
+	} {
+		if n, ok := got[want]; !ok {
+			t.Errorf("trend missing baseline %s (have %v)", want, got)
+		} else if n == 0 {
+			t.Errorf("trend series %s has no points", want)
+		}
+	}
+}

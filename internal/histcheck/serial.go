@@ -1,0 +1,384 @@
+package histcheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/index"
+)
+
+// This file adds a transactional counterpart to the per-key linearizer:
+// a serialization-graph checker over committed multi-key transactions
+// (internal/txn). Version stamps make the check direct — no interval
+// reasoning needed. Every committed write carries the globally-unique,
+// per-key-monotonic version the engine installed, and every read records
+// the version it observed, so the history itself names the dependency
+// edges:
+//
+//	WW  w1 → w2    w1, w2 write the same key and w1's version is the
+//	               largest recorded version below w2's
+//	WR  w  → r     r read the version w wrote
+//	RW  r  → w     w installed the next version after the one r read
+//	               (the anti-dependency that closes write-skew cycles)
+//
+// A history is conflict-serializable iff this graph is acyclic
+// [Bernstein & Goodman]. A read of version 0 observed absence; reads of
+// versions no recorded transaction wrote observe pre-history state.
+// Both act as "before every recorded writer" for RW purposes.
+//
+// Scope: put-only transactional histories (TxnPut writes). A delete
+// makes a key absent, and a later read of that absence records version
+// 0 — indistinguishable from pre-history absence, which would fabricate
+// RW edges into the past. The recorder therefore refuses histories with
+// deletes rather than silently mis-checking them.
+
+// TxnKV is one versioned key observation in a transactional history.
+type TxnKV struct {
+	Key string
+	Ver uint64
+}
+
+// TxnRecord is one committed transaction: the versions it observed and
+// the versions it installed.
+type TxnRecord struct {
+	ID     uint64
+	Reads  []TxnKV
+	Writes []TxnKV
+}
+
+// CheckSerial verifies that a set of committed transactions is
+// conflict-serializable. It builds the full serialization graph (WW, WR,
+// RW edges) from the recorded version stamps and reports every strongly
+// connected component with more than one transaction as one violation,
+// quoting a concrete cycle through it.
+//
+// The checker is deterministic: the same records (in any order) yield
+// the same verdicts.
+func CheckSerial(recs []TxnRecord) []Violation {
+	// Index transactions and writers-per-key. Sort by ID first so edge
+	// construction, and therefore cycle reporting, is order-independent.
+	recs = append([]TxnRecord(nil), recs...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	byID := make(map[uint64]int, len(recs))
+	var violations []Violation
+	for i, r := range recs {
+		if j, dup := byID[r.ID]; dup {
+			violations = append(violations, Violation{
+				Kind: "txn-duplicate-id",
+				Msg:  fmt.Sprintf("transactions %d and %d share ID %d", j, i, r.ID),
+			})
+			continue
+		}
+		byID[r.ID] = i
+	}
+
+	// writers[key] = writes of key sorted by installed version, each
+	// tagged with its writer's index.
+	type verWriter struct {
+		ver uint64
+		txn int
+	}
+	writers := make(map[string][]verWriter)
+	for i, r := range recs {
+		for _, w := range r.Writes {
+			if w.Ver == 0 {
+				violations = append(violations, Violation{
+					Kind: "txn-zero-write-version",
+					Key:  w.Key,
+					Msg:  fmt.Sprintf("txn %d recorded version 0 for a committed write (conflicted or unstamped?)", r.ID),
+				})
+				continue
+			}
+			writers[w.Key] = append(writers[w.Key], verWriter{w.Ver, i})
+		}
+	}
+	for key, ws := range writers {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].ver < ws[j].ver })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].ver == ws[i-1].ver {
+				violations = append(violations, Violation{
+					Kind: "txn-duplicate-write-version",
+					Key:  key,
+					Msg: fmt.Sprintf("txns %d and %d both installed version %d (lost atomicity or stamp reuse)",
+						recs[ws[i-1].txn].ID, recs[ws[i].txn].ID, ws[i].ver),
+				})
+			}
+		}
+		writers[key] = ws
+	}
+	if violations != nil {
+		// Version-stamp integrity failed; the graph would be built on
+		// corrupt edges, so stop here.
+		return violations
+	}
+
+	// nextWriter returns the index of the transaction that installed the
+	// smallest version strictly greater than ver on key, or -1.
+	nextWriter := func(key string, ver uint64) int {
+		ws := writers[key]
+		i := sort.Search(len(ws), func(i int) bool { return ws[i].ver > ver })
+		if i == len(ws) {
+			return -1
+		}
+		return ws[i].txn
+	}
+	// writerOf returns the index of the transaction that installed
+	// exactly ver on key, or -1 (pre-history version).
+	writerOf := func(key string, ver uint64) int {
+		ws := writers[key]
+		i := sort.Search(len(ws), func(i int) bool { return ws[i].ver >= ver })
+		if i < len(ws) && ws[i].ver == ver {
+			return ws[i].txn
+		}
+		return -1
+	}
+
+	// Build adjacency. Dedup edges with a set keyed on (from, to).
+	adj := make([][]int, len(recs))
+	seen := make(map[[2]int]struct{})
+	addEdge := func(from, to int) {
+		if from == to || from < 0 || to < 0 {
+			return
+		}
+		k := [2]int{from, to}
+		if _, ok := seen[k]; ok {
+			return
+		}
+		seen[k] = struct{}{}
+		adj[from] = append(adj[from], to)
+	}
+	for i, r := range recs {
+		for _, w := range r.Writes {
+			// WW: previous version's writer precedes us.
+			ws := writers[w.Key]
+			j := sort.Search(len(ws), func(j int) bool { return ws[j].ver >= w.Ver })
+			if j > 0 {
+				addEdge(ws[j-1].txn, i)
+			}
+		}
+		for _, rd := range r.Reads {
+			// WR: the writer of what we read precedes us (pre-history
+			// reads, including ver 0, have no recorded writer).
+			addEdge(writerOf(rd.Key, rd.Ver), i)
+			// RW: we precede the writer that overwrote what we read —
+			// unless that writer is us (we read then overwrote the key
+			// inside one transaction, which is just WR+WW teamwork).
+			addEdge(i, nextWriter(rd.Key, rd.Ver))
+		}
+	}
+
+	// Tarjan SCC, iteratively (histories can be long). Any SCC with >1
+	// member is a serializability violation.
+	const unvisited = -1
+	idx := make([]int, len(recs))
+	low := make([]int, len(recs))
+	onStack := make([]bool, len(recs))
+	for i := range idx {
+		idx[i] = unvisited
+	}
+	var stack []int
+	next := 0
+	type frame struct{ v, ei int }
+	var cycles [][]int
+	for root := range recs {
+		if idx[root] != unvisited {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		idx[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if idx[w] == unvisited {
+					idx[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && idx[w] < low[f.v] {
+					low[f.v] = idx[w]
+				}
+				continue
+			}
+			// f.v is finished: pop its SCC if it is a root.
+			if low[f.v] == idx[f.v] {
+				var scc []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == f.v {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					cycles = append(cycles, scc)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+
+	for _, scc := range cycles {
+		sort.Ints(scc)
+		ids := make([]string, len(scc))
+		for i, v := range scc {
+			ids[i] = fmt.Sprintf("%d", recs[v].ID)
+		}
+		violations = append(violations, Violation{
+			Kind: "txn-cycle",
+			Msg: fmt.Sprintf("serialization graph cycle through txns {%s}: %s",
+				strings.Join(ids, ","), describeCycle(recs, adj, scc)),
+		})
+	}
+	return violations
+}
+
+// describeCycle walks one concrete cycle inside an SCC for the report:
+// start anywhere in the component and follow in-component edges until a
+// node repeats.
+func describeCycle(recs []TxnRecord, adj [][]int, scc []int) string {
+	in := make(map[int]bool, len(scc))
+	for _, v := range scc {
+		in[v] = true
+	}
+	var path []int
+	at := make(map[int]int)
+	v := scc[0]
+	for {
+		if p, ok := at[v]; ok {
+			path = path[p:]
+			break
+		}
+		at[v] = len(path)
+		path = append(path, v)
+		for _, w := range adj[v] {
+			if in[w] {
+				v = w
+				break
+			}
+		}
+	}
+	parts := make([]string, 0, len(path)+1)
+	for _, v := range path {
+		parts = append(parts, fmt.Sprintf("T%d", recs[v].ID))
+	}
+	parts = append(parts, fmt.Sprintf("T%d", recs[path[0]].ID))
+	return strings.Join(parts, " -> ")
+}
+
+// TxnChecker records committed transactions flowing through wrapped
+// sessions for a post-run CheckSerial. Wrap any index.TxnSession; the
+// recorder adds one mutex acquisition and a few appends per commit.
+type TxnChecker struct {
+	mu   sync.Mutex
+	recs []TxnRecord
+	errs []Violation
+}
+
+// NewTxnChecker returns an empty transactional history recorder.
+func NewTxnChecker() *TxnChecker { return &TxnChecker{} }
+
+// Wrap returns a session that forwards to ts and records every committed
+// transaction. Conflicted transactions leave no trace (they changed
+// nothing). Deletes are outside the checker's scope (see package doc);
+// committing one through a wrapped session records a violation.
+func (c *TxnChecker) Wrap(ts index.TxnSession) index.TxnSession {
+	return &recordedTxnSession{c: c, ts: ts}
+}
+
+// History returns the committed records so far. Call only when all
+// wrapped sessions are quiescent.
+func (c *TxnChecker) History() []TxnRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]TxnRecord(nil), c.recs...)
+}
+
+// Check runs CheckSerial over everything recorded so far. Call only when
+// all wrapped sessions are quiescent.
+func (c *TxnChecker) Check() []Violation {
+	c.mu.Lock()
+	recs := append([]TxnRecord(nil), c.recs...)
+	errs := append([]Violation(nil), c.errs...)
+	c.mu.Unlock()
+	return append(errs, CheckSerial(recs)...)
+}
+
+// CheckReset runs Check over everything recorded so far, then clears the
+// recorder, returning the number of drained records alongside the
+// verdicts. Use at recovery boundaries: a store that crashes and replays
+// restarts its version counter, so stamps from different incarnations
+// are numerically incomparable and a history spanning one would report
+// meaningless stamp reuse. Each incarnation must be serializable on its
+// own; committed writes surviving from earlier epochs act as pre-history
+// (their versions match no recorded writer). Call only when all wrapped
+// sessions are quiescent.
+func (c *TxnChecker) CheckReset() (int, []Violation) {
+	c.mu.Lock()
+	recs := c.recs
+	errs := c.errs
+	c.recs, c.errs = nil, nil
+	c.mu.Unlock()
+	return len(recs), append(errs, CheckSerial(recs)...)
+}
+
+type recordedTxnSession struct {
+	c  *TxnChecker
+	ts index.TxnSession
+}
+
+func (s *recordedTxnSession) GetVersion(key []byte) (uint64, uint64, bool, error) {
+	return s.ts.GetVersion(key)
+}
+
+func (s *recordedTxnSession) Release() { s.ts.Release() }
+
+func (s *recordedTxnSession) CommitTxn(reads []index.TxnRead, writes []index.TxnWrite) (index.TxnResult, error) {
+	res, err := s.ts.CommitTxn(reads, writes)
+	if err != nil || res.Status != index.TxnCommitted {
+		return res, err
+	}
+	rec := TxnRecord{ID: res.TxnID}
+	for _, r := range reads {
+		rec.Reads = append(rec.Reads, TxnKV{Key: string(r.Key), Ver: r.Ver})
+	}
+	var del []Violation
+	for i, w := range writes {
+		if w.Op == index.TxnDel {
+			del = append(del, Violation{
+				Kind: "txn-unsupported-delete",
+				Key:  string(w.Key),
+				Msg:  fmt.Sprintf("txn %d committed a delete; serializability checking covers put-only histories", res.TxnID),
+			})
+			continue
+		}
+		if i >= len(res.WriteVers) || res.WriteVers[i] == 0 {
+			// Version 0 marks an elided no-op put (the value already
+			// matched, so no record was installed). It changed nothing
+			// and cannot invalidate any read, so it contributes no
+			// dependency edges.
+			continue
+		}
+		rec.Writes = append(rec.Writes, TxnKV{Key: string(w.Key), Ver: res.WriteVers[i]})
+	}
+	s.c.mu.Lock()
+	s.c.recs = append(s.c.recs, rec)
+	s.c.errs = append(s.c.errs, del...)
+	s.c.mu.Unlock()
+	return res, err
+}

@@ -50,6 +50,12 @@ type Store struct {
 	opts   Options
 	router Router
 	shards []*Shard
+
+	// maxTxnID and txnScanTorn come from the store-level transaction
+	// decision scan at Open (durable stores only): the highest transaction
+	// ID on any shard log, and whether any scan truncated a torn tail.
+	maxTxnID    uint64
+	txnScanTorn bool
 }
 
 // Open builds (or, with WALDir, recovers) a sharded store. Recovery runs
@@ -69,6 +75,52 @@ func Open(o Options) (*Store, error) {
 		return nil, errors.New("shard: non-unique trees are not supported by the serving tier")
 	}
 	st := &Store{opts: o, router: o.Router, shards: make([]*Shard, o.Shards)}
+
+	// Cross-shard transaction decisions must resolve store-wide: a commit
+	// spanning shards A and B may have its decision record durable in A's
+	// log only (the crash hit between the per-participant decision
+	// appends), yet B's prepare must still apply. So before opening any
+	// shard, scan every shard log's tail for decisions, merge, and hand
+	// the union to each shard's recovery. The scans run shard-parallel
+	// like recovery itself.
+	var txnCommitted func(uint64) bool
+	if o.WALDir != "" {
+		merged := make(map[uint64]bool)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make([]error, o.Shards)
+		for i := 0; i < o.Shards; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				dir := filepath.Join(o.WALDir, fmt.Sprintf("shard-%03d", i))
+				if err := os.MkdirAll(dir, 0o755); err != nil {
+					errs[i] = err
+					return
+				}
+				set, maxID, torn, err := bwtree.ScanTxnDecisions(dir)
+				if err != nil {
+					errs[i] = fmt.Errorf("shard %d txn scan: %w", i, err)
+					return
+				}
+				mu.Lock()
+				for id := range set {
+					merged[id] = true
+				}
+				if maxID > st.maxTxnID {
+					st.maxTxnID = maxID
+				}
+				st.txnScanTorn = st.txnScanTorn || torn
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		if err := errors.Join(errs...); err != nil {
+			return nil, err
+		}
+		txnCommitted = func(id uint64) bool { return merged[id] }
+	}
+
 	var wg sync.WaitGroup
 	errs := make([]error, o.Shards)
 	for i := 0; i < o.Shards; i++ {
@@ -80,11 +132,9 @@ func Open(o Options) (*Store, error) {
 				sh.t = bwtree.New(o.Tree)
 			} else {
 				dir := filepath.Join(o.WALDir, fmt.Sprintf("shard-%03d", i))
-				if err := os.MkdirAll(dir, 0o755); err != nil {
-					errs[i] = err
-					return
-				}
-				d, err := bwtree.OpenDurable(dir, bwtree.DurableOptions{Tree: o.Tree, SyncOnCommit: o.SyncOnCommit})
+				d, err := bwtree.OpenDurable(dir, bwtree.DurableOptions{
+					Tree: o.Tree, SyncOnCommit: o.SyncOnCommit, TxnCommitted: txnCommitted,
+				})
 				if err != nil {
 					errs[i] = fmt.Errorf("shard %d: %w", i, err)
 					return
@@ -125,6 +175,9 @@ func (st *Store) RecoveryStats() bwtree.RecoveryStats {
 		agg.SnapshotKeys += r.SnapshotKeys
 		agg.Replayed += r.Replayed
 		agg.TornTail = agg.TornTail || r.TornTail
+		if r.MaxTxnID > agg.MaxTxnID {
+			agg.MaxTxnID = r.MaxTxnID
+		}
 		// Shards recover in parallel; wall-clock recovery is the slowest
 		// shard, so report the max, not the sum.
 		if r.SnapshotLoad > agg.SnapshotLoad {
@@ -134,6 +187,14 @@ func (st *Store) RecoveryStats() bwtree.RecoveryStats {
 			agg.Replay = r.Replay
 		}
 	}
+	// The store-level decision scan runs before the per-shard opens and is
+	// the authoritative source for both fields: shards recover with a
+	// store-provided resolver, so their own MaxTxnID stays zero, and the
+	// scan (not the subsequent replay) is what finds torn tails.
+	if st.maxTxnID > agg.MaxTxnID {
+		agg.MaxTxnID = st.maxTxnID
+	}
+	agg.TornTail = agg.TornTail || st.txnScanTorn
 	return agg
 }
 

@@ -1,0 +1,214 @@
+package txn
+
+import (
+	"hash/maphash"
+	"sync"
+
+	"repro/bwtree"
+	"repro/internal/shard"
+	"repro/internal/wal"
+)
+
+// NewForShard builds the engine over a sharded store. The global stripe
+// space is the concatenation of every shard's 256 stripes (shard i owns
+// indices [i*256, (i+1)*256)), so sorted-order acquisition yields one
+// deadlock-free total order across shards.
+//
+// Commits whose write set lands on one shard use that shard's log alone
+// (a self-contained OpTxn record). Cross-shard commits run two-phase
+// with presumed abort: each participant logs an OpTxnPrep carrying its
+// local sub-writes; once EVERY prep is durable, an OpTxnCommit decision
+// is appended to every participant. Recovery applies a prep iff a
+// decision bearing its transaction ID survives in any shard's log
+// (shard.Open merges the per-shard decision scans), so the commit takes
+// effect on all shards or none — even when the crash lands between the
+// per-participant appends.
+//
+// For in-memory stores (no WALDir) the stripes are engine-private and
+// the same mixing restriction as NewForTree applies.
+func NewForShard(st *shard.Store) *Store {
+	b := &shardBackend{st: st, shards: st.Shards(), durable: st.Durable()}
+	if !b.durable {
+		b.seed = maphash.MakeSeed()
+		b.plain = make([]sync.Mutex, len(b.shards)*bwtree.NStripes)
+	}
+	return NewStore(b)
+}
+
+type shardBackend struct {
+	st      *shard.Store
+	shards  []*shard.Shard
+	durable bool
+
+	// plain-store stripes (unused when every shard has a Durable)
+	seed  maphash.Seed
+	plain []sync.Mutex
+}
+
+func (b *shardBackend) NStripes() int { return len(b.shards) * bwtree.NStripes }
+
+func (b *shardBackend) StripeOf(key []byte) int {
+	sh := b.st.Router().Shard(key)
+	if b.durable {
+		return sh*bwtree.NStripes + b.shards[sh].Durable().StripeOf(key)
+	}
+	return sh*bwtree.NStripes + int(maphash.Bytes(b.seed, key)&0xff)
+}
+
+func (b *shardBackend) Lock(i int) {
+	if b.durable {
+		b.shards[i/bwtree.NStripes].Durable().StripeLock(i % bwtree.NStripes)
+		return
+	}
+	b.plain[i].Lock()
+}
+
+func (b *shardBackend) Unlock(i int) {
+	if b.durable {
+		b.shards[i/bwtree.NStripes].Durable().StripeUnlock(i % bwtree.NStripes)
+		return
+	}
+	b.plain[i].Unlock()
+}
+
+func (b *shardBackend) TryLock(i int) bool {
+	if b.durable {
+		return b.shards[i/bwtree.NStripes].Durable().StripeTryLock(i % bwtree.NStripes)
+	}
+	return b.plain[i].TryLock()
+}
+
+func (b *shardBackend) MaxRecoveredTxnID() uint64 {
+	return b.st.RecoveryStats().MaxTxnID
+}
+
+func (b *shardBackend) NewSession() BackendSession {
+	ss := &shardSession{b: b, sess: make([]*bwtree.Session, len(b.shards))}
+	for i, sh := range b.shards {
+		ss.sess[i] = sh.Tree().NewSession()
+	}
+	return ss
+}
+
+type shardSession struct {
+	b    *shardBackend
+	sess []*bwtree.Session
+}
+
+func (ss *shardSession) Release() {
+	for _, s := range ss.sess {
+		s.Release()
+	}
+}
+
+func (ss *shardSession) ReadVersion(key []byte) (uint64, uint64, bool) {
+	return ss.sess[ss.b.st.Router().Shard(key)].LookupVersion(key)
+}
+
+func (ss *shardSession) LogApply(txnID uint64, ops []wal.TxnOp) (func() error, error) {
+	// Group the resolved write set by owning shard.
+	groups := make(map[int][]wal.TxnOp, 2)
+	for i := range ops {
+		sh := ss.b.st.Router().Shard(ops[i].Key)
+		groups[sh] = append(groups[sh], ops[i])
+	}
+	if !ss.b.durable {
+		for sh, g := range groups {
+			applyOps(ss.sess[sh], g)
+		}
+		return nil, nil
+	}
+
+	if len(groups) == 1 {
+		// Single participant: self-contained commit on that shard's log,
+		// identical to the single-tree fast path.
+		for sh, g := range groups {
+			d := ss.b.shards[sh].Durable()
+			lsn, err := d.AppendTxn(wal.OpTxn, txnID, g)
+			if err != nil {
+				return nil, err
+			}
+			applyOps(ss.sess[sh], g)
+			if d.SyncOnCommit() {
+				return func() error { return d.WaitLSN(lsn) }, nil
+			}
+		}
+		return nil, nil
+	}
+
+	// Two-phase, presumed abort. Deterministic participant order keeps
+	// the trace readable; correctness doesn't depend on it.
+	parts := make([]int, 0, len(groups))
+	for sh := range groups {
+		parts = append(parts, sh)
+	}
+	for i := 1; i < len(parts); i++ { // tiny insertion sort; len is shard count
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+
+	// Phase A: prepares. An error anywhere before the first decision
+	// append is a clean abort — surviving preps have no decision, and
+	// recovery presumes them aborted; nothing was applied in memory.
+	prepLSN := make([]uint64, len(parts))
+	for i, sh := range parts {
+		lsn, err := ss.b.shards[sh].Durable().AppendTxn(wal.OpTxnPrep, txnID, groups[sh])
+		if err != nil {
+			return nil, err
+		}
+		prepLSN[i] = lsn
+	}
+	// Every prep must be durable before ANY decision is appended — even
+	// on async stores. A decision can become durable the instant it is
+	// buffered (group commit runs concurrently), and a durable decision
+	// with a lost prep would half-apply the transaction on recovery.
+	for i, sh := range parts {
+		if err := ss.b.shards[sh].Durable().WaitLSN(prepLSN[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase B: decisions, one per participant. Once the first append
+	// succeeds the commit is decided (a surviving decision anywhere
+	// commits every prep), so later errors no longer abort: apply in
+	// memory regardless and surface the error as an unresolved-commit
+	// infrastructure failure, matching DurableSession semantics.
+	decLSN := make([]uint64, len(parts))
+	var decErr error
+	decided := false
+	for i, sh := range parts {
+		lsn, err := ss.b.shards[sh].Durable().AppendTxn(wal.OpTxnCommit, txnID, nil)
+		if err != nil {
+			if !decided {
+				return nil, err
+			}
+			if decErr == nil {
+				decErr = err
+			}
+			continue
+		}
+		decided = true
+		decLSN[i] = lsn
+	}
+	for _, sh := range parts {
+		applyOps(ss.sess[sh], groups[sh])
+	}
+	if decErr != nil {
+		return nil, decErr
+	}
+	if ss.b.st.Shards()[parts[0]].Durable().SyncOnCommit() {
+		return func() error {
+			for i, sh := range parts {
+				if decLSN[i] == 0 {
+					continue
+				}
+				if err := ss.b.shards[sh].Durable().WaitLSN(decLSN[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	}
+	return nil, nil
+}

@@ -1,0 +1,122 @@
+package txn
+
+import (
+	"repro/internal/index"
+)
+
+// Tx is one buffered transaction over any index.TxnSession — a local
+// Store session or a network connection implementing the same contract.
+// Reads record (key, version) observations; writes buffer until Commit.
+// Within the transaction, Get is repeatable (the first observation of a
+// key is returned again) and reads its own writes.
+//
+// A Tx is not safe for concurrent use. After Commit it may be reused via
+// Reset (RunTxn does this for its retry loop).
+type Tx struct {
+	ts     index.TxnSession
+	reads  []index.TxnRead
+	seen   map[string]seenRead
+	writes []index.TxnWrite
+	widx   map[string]int
+}
+
+type seenRead struct {
+	val   uint64
+	found bool
+}
+
+// Begin starts a buffered transaction on ts.
+func Begin(ts index.TxnSession) *Tx {
+	return &Tx{
+		ts:   ts,
+		seen: make(map[string]seenRead),
+		widx: make(map[string]int),
+	}
+}
+
+// Reset discards all buffered state so the Tx can run again.
+func (t *Tx) Reset() {
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	clear(t.seen)
+	clear(t.widx)
+}
+
+// Get reads key. The first read of each key goes to the store and is
+// recorded in the read set; later reads return the same observation.
+// Reads of keys this transaction has written return the buffered write.
+func (t *Tx) Get(key []byte) (value uint64, found bool, err error) {
+	if i, ok := t.widx[string(key)]; ok {
+		w := t.writes[i]
+		if w.Op == index.TxnDel {
+			return 0, false, nil
+		}
+		return w.Value, true, nil
+	}
+	if r, ok := t.seen[string(key)]; ok {
+		return r.val, r.found, nil
+	}
+	val, ver, found, err := t.ts.GetVersion(key)
+	if err != nil {
+		return 0, false, err
+	}
+	k := append([]byte(nil), key...)
+	t.reads = append(t.reads, index.TxnRead{Key: k, Ver: ver})
+	t.seen[string(k)] = seenRead{val: val, found: found}
+	return val, found, nil
+}
+
+// Put buffers a write of (key, value); a later write to the same key
+// replaces it.
+func (t *Tx) Put(key []byte, value uint64) {
+	t.write(index.TxnWrite{Op: index.TxnPut, Key: append([]byte(nil), key...), Value: value})
+}
+
+// Delete buffers a deletion of key.
+func (t *Tx) Delete(key []byte) {
+	t.write(index.TxnWrite{Op: index.TxnDel, Key: append([]byte(nil), key...)})
+}
+
+func (t *Tx) write(w index.TxnWrite) {
+	if i, ok := t.widx[string(w.Key)]; ok {
+		t.writes[i] = w
+		return
+	}
+	t.widx[string(w.Key)] = len(t.writes)
+	t.writes = append(t.writes, w)
+}
+
+// Reads returns the recorded read set (live until Reset).
+func (t *Tx) Reads() []index.TxnRead { return t.reads }
+
+// Writes returns the buffered write set (live until Reset).
+func (t *Tx) Writes() []index.TxnWrite { return t.writes }
+
+// Commit submits the transaction. A TxnConflict result leaves the store
+// untouched; Reset and re-run to retry.
+func (t *Tx) Commit() (index.TxnResult, error) {
+	return t.ts.CommitTxn(t.reads, t.writes)
+}
+
+// RunTxn runs fn inside a transaction, retrying from scratch on
+// optimistic conflicts: up to attempts tries when attempts > 0,
+// indefinitely otherwise. An error from fn aborts without committing
+// (nothing buffered ever reached the store). The returned result is the
+// final attempt's — check Status: a conflicting final attempt returns
+// index.TxnConflict with a nil error.
+func RunTxn(ts index.TxnSession, attempts int, fn func(*Tx) error) (index.TxnResult, error) {
+	tx := Begin(ts)
+	for i := 0; ; i++ {
+		tx.Reset()
+		if err := fn(tx); err != nil {
+			return index.TxnResult{}, err
+		}
+		res, err := tx.Commit()
+		if err != nil || res.Status == index.TxnCommitted {
+			return res, err
+		}
+		if attempts > 0 && i+1 >= attempts {
+			return res, nil
+		}
+	}
+}

@@ -1,0 +1,346 @@
+// Package txn layers optimistic multi-key transactions over the
+// repository's stores — a single durable tree, a plain in-memory tree,
+// or the sharded serving tier — with Silo-style OCC validation
+// (Tu et al., SOSP 2013) and WAL-atomic commit.
+//
+// # Protocol
+//
+// A transaction reads through versioned lookups (every published leaf
+// record carries a stamp from a tree-global counter; see
+// core.Session.LookupVersion) and buffers its writes. Commit then runs:
+//
+//  1. Lock the write set's stripes in sorted global order (the same
+//     256-way stripes the durability layer orders single-key commits
+//     with, so transactional and plain writers exclude each other).
+//  2. Validate the read set: try-lock each read stripe not already held
+//     (a failed try is a conservative abort — never block on a reader's
+//     behalf, never deadlock), then recheck that each key still carries
+//     the version the transaction observed. Absent keys validate at
+//     version 0.
+//  3. Resolve the write set into guarded sub-operations
+//     (insert/update/delete) under the held locks, append one WAL
+//     record spanning all of them, apply in memory, and release.
+//
+// Deadlock freedom: write stripes are acquired in sorted order and read
+// stripes only with try-lock, so no cycle of waits can form. Atomicity
+// across a crash comes from the log record being a single CRC-framed
+// entry — recovery replays all of it or truncates all of it (see
+// wal.OpTxn; cross-shard commits use the two-phase OpTxnPrep/OpTxnCommit
+// shape with presumed abort).
+//
+// Serializability: validation happens while every write stripe is held,
+// so the commit point is atomic; a read validated at the commit point
+// either still holds its observed version forever-after-this-instant or
+// the transaction aborts. This is exactly Silo's argument, with stripe
+// try-locks standing in for per-record lock words.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync/atomic"
+
+	"repro/internal/index"
+	"repro/internal/obs"
+	"repro/internal/wal"
+)
+
+// Backend is the store-side contract the OCC engine drives. Implemented
+// for durable trees, plain trees, and sharded stores in this package;
+// the engine itself never knows which it is running over.
+type Backend interface {
+	// NStripes is the global stripe-lock count.
+	NStripes() int
+	// StripeOf maps a key to its global stripe in [0, NStripes).
+	StripeOf(key []byte) int
+	// Lock, Unlock, and TryLock operate on one global stripe.
+	Lock(i int)
+	Unlock(i int)
+	TryLock(i int) bool
+	// MaxRecoveredTxnID is the highest transaction ID surviving in the
+	// store's logs at open (0 for fresh or non-durable stores). The
+	// engine seeds its ID counter above it so a new prepare can never
+	// collide with a stale decision record.
+	MaxRecoveredTxnID() uint64
+	// NewSession returns a per-worker read/log/apply handle.
+	NewSession() BackendSession
+}
+
+// BackendSession is one worker's handle to a Backend. At most one
+// goroutine may use it at a time.
+type BackendSession interface {
+	// ReadVersion reads key's value and version stamp (ver 0, found
+	// false for absent keys).
+	ReadVersion(key []byte) (value uint64, ver uint64, found bool)
+	// LogApply durably logs the resolved write set as one atomic commit
+	// and applies it in memory. The caller holds every write stripe
+	// across the call. A non-nil wait postpones the durability wait so
+	// the caller can release the stripes first; LogApply returning an
+	// error means the commit outcome is unresolved exactly as in
+	// bwtree.DurableSession (possible only on a closed or crashed log).
+	LogApply(txnID uint64, ops []wal.TxnOp) (wait func() error, err error)
+	// Release returns the session's resources.
+	Release()
+}
+
+// ErrDuplicateWriteKey is returned by CommitTxn when the write set names
+// one key twice; buffer writes through Tx to coalesce them instead.
+var ErrDuplicateWriteKey = errors.New("txn: duplicate key in write set")
+
+// validateBarrier, when non-nil, runs after read validation succeeds and
+// before the write set is resolved and logged. Tests use it to hold two
+// racing commits at the validated-but-unapplied point — the
+// deterministic schedule that exposes write skew when the txnbug build
+// tag disables read-stripe locking.
+var validateBarrier func()
+
+// Store is the OCC engine over one Backend. Safe for any number of
+// concurrent Sessions.
+type Store struct {
+	b      Backend
+	nextID atomic.Uint64
+
+	commits   atomic.Uint64
+	conflicts atomic.Uint64
+	readOnly  atomic.Uint64
+	validate  obs.Histogram
+}
+
+// NewStore builds an engine over b, seeding the transaction-ID counter
+// above every ID the store's recovery saw.
+func NewStore(b Backend) *Store {
+	s := &Store{b: b}
+	s.nextID.Store(b.MaxRecoveredTxnID())
+	return s
+}
+
+// Stats is a point-in-time aggregate of the engine's counters.
+type Stats struct {
+	// Commits counts committed transactions (including read-only).
+	Commits uint64
+	// Conflicts counts commits rejected by validation.
+	Conflicts uint64
+	// ReadOnly counts commits whose resolved write set was empty.
+	ReadOnly uint64
+	// Validate is the commit-path latency up to the log append: stripe
+	// acquisition, read validation, and write resolution.
+	Validate obs.HistSnapshot
+}
+
+// Stats snapshots the engine's counters.
+func (st *Store) Stats() Stats {
+	s := Stats{
+		Commits:   st.commits.Load(),
+		Conflicts: st.conflicts.Load(),
+		ReadOnly:  st.readOnly.Load(),
+	}
+	st.validate.AddTo(&s.Validate)
+	return s
+}
+
+// NewTxnSession implements index.TxnStore.
+func (st *Store) NewTxnSession() index.TxnSession { return st.NewSession() }
+
+// NewSession returns a per-worker transactional handle.
+func (st *Store) NewSession() *Session {
+	return &Session{
+		st:  st,
+		bs:  st.b.NewSession(),
+		dup: make(map[string]struct{}),
+	}
+}
+
+// Session is one worker's handle to a Store. It implements
+// index.TxnSession; use Begin/RunTxn for the buffered-transaction
+// surface on top of it.
+type Session struct {
+	st *Store
+	bs BackendSession
+
+	// commit scratch, reused across transactions
+	dup      map[string]struct{}
+	wStripes []int
+	rStripes []int
+	ops      []wal.TxnOp
+	noop     []bool
+}
+
+// Release returns the session's resources.
+func (s *Session) Release() { s.bs.Release() }
+
+// GetVersion reads key and its version stamp — the observation to
+// record in a read set. Implements index.TxnSession.
+func (s *Session) GetVersion(key []byte) (value uint64, ver uint64, found bool, err error) {
+	value, ver, found = s.bs.ReadVersion(key)
+	return value, ver, found, nil
+}
+
+// CommitTxn validates reads and, if they hold, atomically applies
+// writes. See index.TxnSession for the contract. Conflicts return
+// Status == index.TxnConflict with a nil error; a non-nil error means
+// infrastructure failure (closed store, crashed log) and the outcome of
+// an already-logged commit is unresolved.
+func (s *Session) CommitTxn(reads []index.TxnRead, writes []index.TxnWrite) (index.TxnResult, error) {
+	b := s.st.b
+	if len(writes) > 1 {
+		clear(s.dup)
+		for i := range writes {
+			k := string(writes[i].Key)
+			if _, ok := s.dup[k]; ok {
+				return index.TxnResult{}, ErrDuplicateWriteKey
+			}
+			s.dup[k] = struct{}{}
+		}
+	}
+	for i := range writes {
+		if writes[i].Op != index.TxnPut && writes[i].Op != index.TxnDel {
+			return index.TxnResult{}, fmt.Errorf("txn: unknown write op %q", writes[i].Op)
+		}
+	}
+
+	t0 := obs.Now()
+
+	// Phase 1: write stripes, sorted unique, acquired blocking. Sorted
+	// order is the global lock order — the deadlock-freedom invariant.
+	s.wStripes = s.wStripes[:0]
+	for i := range writes {
+		s.wStripes = append(s.wStripes, b.StripeOf(writes[i].Key))
+	}
+	slices.Sort(s.wStripes)
+	s.wStripes = slices.Compact(s.wStripes)
+	for _, i := range s.wStripes {
+		b.Lock(i)
+	}
+	unlockWrites := func() {
+		for _, i := range s.wStripes {
+			b.Unlock(i)
+		}
+	}
+
+	// Phase 2: read validation at the commit point.
+	if !s.validateReads(reads) {
+		unlockWrites()
+		s.st.conflicts.Add(1)
+		return index.TxnResult{Status: index.TxnConflict}, nil
+	}
+	if h := validateBarrier; h != nil {
+		h()
+	}
+
+	// Phase 3: resolve writes into guarded sub-operations under the held
+	// stripes — the presence check is stable until we unlock, so the
+	// resolved ops replay deterministically during recovery.
+	s.ops = s.ops[:0]
+	s.noop = append(s.noop[:0], make([]bool, len(writes))...)
+	for i := range writes {
+		cur, _, found := s.bs.ReadVersion(writes[i].Key)
+		switch writes[i].Op {
+		case index.TxnPut:
+			if found && cur == writes[i].Value {
+				// Value unchanged: the tree would install no new record
+				// (and therefore no new stamp), so the write is logically
+				// a no-op. Dropping it here keeps the invariant that
+				// every entry in the logged write set advanced its key's
+				// version — the serializability checker depends on it.
+				s.noop[i] = true
+				continue
+			}
+			op := wal.OpInsert
+			if found {
+				op = wal.OpUpdate
+			}
+			s.ops = append(s.ops, wal.TxnOp{Op: op, Key: writes[i].Key, Value: writes[i].Value})
+		case index.TxnDel:
+			if found {
+				s.ops = append(s.ops, wal.TxnOp{Op: wal.OpDelete, Key: writes[i].Key})
+			} else {
+				s.noop[i] = true
+			}
+		}
+	}
+	id := s.st.nextID.Add(1)
+	s.st.validate.RecordNS(obs.Now() - t0)
+
+	if len(s.ops) == 0 {
+		// Read-only (or every delete targeted an absent key): validation
+		// alone is the commit; nothing to log or apply.
+		unlockWrites()
+		s.st.commits.Add(1)
+		s.st.readOnly.Add(1)
+		return index.TxnResult{Status: index.TxnCommitted, TxnID: id, WriteVers: make([]uint64, len(writes))}, nil
+	}
+
+	wait, err := s.bs.LogApply(id, s.ops)
+	if err != nil {
+		unlockWrites()
+		return index.TxnResult{}, err
+	}
+
+	// Collect post-apply version stamps under the stripes (stable there)
+	// — the serializability checker keys its write history off these.
+	vers := make([]uint64, len(writes))
+	for i := range writes {
+		if writes[i].Op == index.TxnDel || s.noop[i] {
+			continue
+		}
+		_, v, _ := s.bs.ReadVersion(writes[i].Key)
+		vers[i] = v
+	}
+	unlockWrites()
+	s.st.commits.Add(1)
+	res := index.TxnResult{Status: index.TxnCommitted, TxnID: id, WriteVers: vers}
+	if wait != nil {
+		if werr := wait(); werr != nil {
+			return res, werr
+		}
+	}
+	return res, nil
+}
+
+// validateReads rechecks every read-set observation under try-locked
+// stripes. Returns false on any mismatch or failed try-lock (both are
+// conservative aborts). The caller holds s.wStripes throughout.
+func (s *Session) validateReads(reads []index.TxnRead) bool {
+	b := s.st.b
+	s.rStripes = s.rStripes[:0]
+	if !bugSkipReadLocks {
+		for i := range reads {
+			st := b.StripeOf(reads[i].Key)
+			if _, held := slices.BinarySearch(s.wStripes, st); held {
+				continue // already ours, exclusively
+			}
+			s.rStripes = append(s.rStripes, st)
+		}
+		slices.Sort(s.rStripes)
+		s.rStripes = slices.Compact(s.rStripes)
+		for n, st := range s.rStripes {
+			if !b.TryLock(st) {
+				// A concurrent commit owns a stripe we read under — its
+				// writes may invalidate ours mid-validation. Abort rather
+				// than wait: waiting could deadlock (it may want our write
+				// stripes), and a retry re-reads fresh state anyway. This
+				// try-lock is also what closes the write-skew window: two
+				// transactions that each read what the other writes cannot
+				// both pass validation, because each one's read stripe is
+				// the other's held write stripe.
+				for _, u := range s.rStripes[:n] {
+					b.Unlock(u)
+				}
+				s.rStripes = s.rStripes[:0]
+				return false
+			}
+		}
+	}
+	ok := true
+	for i := range reads {
+		if _, v, _ := s.bs.ReadVersion(reads[i].Key); v != reads[i].Ver {
+			ok = false
+			break
+		}
+	}
+	for _, u := range s.rStripes {
+		b.Unlock(u)
+	}
+	return ok
+}

@@ -1,0 +1,445 @@
+package txn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/bwtree"
+	"repro/internal/index"
+	"repro/internal/shard"
+)
+
+func tkey(i uint64) []byte {
+	var b [8]byte
+	return index.EncodeUint64(b[:0], i)
+}
+
+func TestTxnBasic(t *testing.T) {
+	dir := t.TempDir()
+	d, err := bwtree.OpenDurable(dir, bwtree.DurableOptions{SyncOnCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	st := NewForDurable(d)
+	s := st.NewSession()
+	defer s.Release()
+
+	tx := Begin(s)
+	if _, found, _ := tx.Get(tkey(1)); found {
+		t.Fatal("fresh store has key 1")
+	}
+	tx.Put(tkey(1), 10)
+	tx.Put(tkey(2), 20)
+	// Read-your-writes inside the buffer.
+	if v, found, _ := tx.Get(tkey(1)); !found || v != 10 {
+		t.Fatalf("read-your-writes: %d %v", v, found)
+	}
+	res, err := tx.Commit()
+	if err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("commit: %+v %v", res, err)
+	}
+	if len(res.WriteVers) != 2 || res.WriteVers[0] == 0 || res.WriteVers[1] == 0 {
+		t.Fatalf("write versions missing: %v", res.WriteVers)
+	}
+
+	tx.Reset()
+	if v, found, _ := tx.Get(tkey(2)); !found || v != 20 {
+		t.Fatalf("committed value lost: %d %v", v, found)
+	}
+	tx.Delete(tkey(2))
+	if _, found, _ := tx.Get(tkey(2)); found {
+		t.Fatal("buffered delete visible as present")
+	}
+	tx.Put(tkey(1), 11)
+	if res, err = tx.Commit(); err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("second commit: %+v %v", res, err)
+	}
+	tx.Reset()
+	if _, found, _ := tx.Get(tkey(2)); found {
+		t.Fatal("delete did not apply")
+	}
+	if v, _, _ := tx.Get(tkey(1)); v != 11 {
+		t.Fatalf("update did not apply: %d", v)
+	}
+}
+
+func TestTxnConflictOnStaleRead(t *testing.T) {
+	d := bwtree.New(bwtree.DefaultOptions())
+	defer d.Close()
+	st := NewForTree(d)
+	s1, s2 := st.NewSession(), st.NewSession()
+	defer s1.Release()
+	defer s2.Release()
+
+	seed := Begin(s1)
+	seed.Put(tkey(1), 1)
+	if res, err := seed.Commit(); err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("seed: %+v %v", res, err)
+	}
+
+	// t1 observes key 1, then t2 overwrites it and commits; t1's commit
+	// must fail validation.
+	t1 := Begin(s1)
+	if _, _, err := t1.Get(tkey(1)); err != nil {
+		t.Fatal(err)
+	}
+	t1.Put(tkey(2), 2)
+
+	t2 := Begin(s2)
+	t2.Put(tkey(1), 99)
+	if res, err := t2.Commit(); err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("t2: %+v %v", res, err)
+	}
+
+	res, err := t1.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != index.TxnConflict {
+		t.Fatalf("stale read committed: %+v", res)
+	}
+	if st.Stats().Conflicts == 0 {
+		t.Fatal("conflict not counted")
+	}
+	// And an absent-key observation conflicts when the key appears.
+	t3 := Begin(s1)
+	if _, found, _ := t3.Get(tkey(7)); found {
+		t.Fatal("key 7 present")
+	}
+	t3.Put(tkey(8), 8)
+	t4 := Begin(s2)
+	t4.Put(tkey(7), 7)
+	if res, err := t4.Commit(); err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("t4: %+v %v", res, err)
+	}
+	if res, err := t3.Commit(); err != nil || res.Status != index.TxnConflict {
+		t.Fatalf("absence observation survived a concurrent insert: %+v %v", res, err)
+	}
+}
+
+func TestTxnWriteSkewBlocked(t *testing.T) {
+	// Sequential write-skew shape: t1 reads A and B, writes A; t2 reads A
+	// and B, writes B. Interleaved so both read before either writes —
+	// with correct validation exactly one commits.
+	d := bwtree.New(bwtree.DefaultOptions())
+	defer d.Close()
+	st := NewForTree(d)
+	s1, s2 := st.NewSession(), st.NewSession()
+	defer s1.Release()
+	defer s2.Release()
+
+	seed := Begin(s1)
+	seed.Put(tkey(1), 50)
+	seed.Put(tkey(2), 50)
+	if res, err := seed.Commit(); err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("seed: %+v %v", res, err)
+	}
+
+	t1, t2 := Begin(s1), Begin(s2)
+	for _, k := range []uint64{1, 2} {
+		if _, _, err := t1.Get(tkey(k)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := t2.Get(tkey(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t1.Put(tkey(1), 0)
+	t2.Put(tkey(2), 0)
+	r1, err := t1.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := t2.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Status != index.TxnCommitted {
+		t.Fatalf("first committer failed: %+v", r1)
+	}
+	if r2.Status != index.TxnConflict {
+		t.Fatalf("write skew: both committed (%+v, %+v)", r1, r2)
+	}
+}
+
+func TestTxnDuplicateWriteKey(t *testing.T) {
+	d := bwtree.New(bwtree.DefaultOptions())
+	defer d.Close()
+	st := NewForTree(d)
+	s := st.NewSession()
+	defer s.Release()
+	_, err := s.CommitTxn(nil, []index.TxnWrite{
+		{Op: index.TxnPut, Key: tkey(1), Value: 1},
+		{Op: index.TxnPut, Key: tkey(1), Value: 2},
+	})
+	if err != ErrDuplicateWriteKey {
+		t.Fatalf("got %v, want ErrDuplicateWriteKey", err)
+	}
+}
+
+// runBank drives concurrent random transfers over a transactional store
+// and returns the expected total. The invariant — the sum of all account
+// balances never changes — is what multi-key atomicity plus
+// serializability buys; either bug class breaks it.
+func runBank(t *testing.T, st *Store, accounts, workers, transfers int) uint64 {
+	t.Helper()
+	const initial = 1000
+	seed := st.NewSession()
+	stx := Begin(seed)
+	for i := 0; i < accounts; i++ {
+		stx.Put(tkey(uint64(i)), initial)
+	}
+	if res, err := stx.Commit(); err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("seed: %+v %v", res, err)
+	}
+	seed.Release()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 7919))
+			s := st.NewSession()
+			defer s.Release()
+			for i := 0; i < transfers; i++ {
+				from := uint64(rng.Intn(accounts))
+				to := uint64(rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				amt := uint64(rng.Intn(10) + 1)
+				_, err := RunTxn(s, 0, func(tx *Tx) error {
+					fv, _, err := tx.Get(tkey(from))
+					if err != nil {
+						return err
+					}
+					if fv < amt {
+						return nil // insufficient funds: commit read-only
+					}
+					tv, _, err := tx.Get(tkey(to))
+					if err != nil {
+						return err
+					}
+					tx.Put(tkey(from), fv-amt)
+					tx.Put(tkey(to), tv+amt)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return uint64(accounts) * initial
+}
+
+func bankSum(t *testing.T, st *Store, accounts int) uint64 {
+	t.Helper()
+	s := st.NewSession()
+	defer s.Release()
+	var sum uint64
+	for i := 0; i < accounts; i++ {
+		v, _, found, err := s.GetVersion(tkey(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("account %d missing", i)
+		}
+		sum += v
+	}
+	return sum
+}
+
+func TestTxnBankPlainTree(t *testing.T) {
+	d := bwtree.New(bwtree.DefaultOptions())
+	defer d.Close()
+	st := NewForTree(d)
+	want := runBank(t, st, 32, 8, 300)
+	if got := bankSum(t, st, 32); got != want {
+		t.Fatalf("sum %d, want %d", got, want)
+	}
+	if st.Stats().Commits == 0 {
+		t.Fatal("no commits counted")
+	}
+}
+
+func TestTxnBankDurable(t *testing.T) {
+	dir := t.TempDir()
+	d, err := bwtree.OpenDurable(dir, bwtree.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewForDurable(d)
+	want := runBank(t, st, 32, 8, 200)
+	if got := bankSum(t, st, 32); got != want {
+		t.Fatalf("pre-close sum %d, want %d", got, want)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery must land on the same conserved total.
+	d2, err := bwtree.OpenDurable(dir, bwtree.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	st2 := NewForDurable(d2)
+	if got := bankSum(t, st2, 32); got != want {
+		t.Fatalf("post-recovery sum %d, want %d", got, want)
+	}
+}
+
+func openBankShard(t *testing.T, walDir string) *shard.Store {
+	t.Helper()
+	ss, err := shard.Open(shard.Options{Shards: 4, WALDir: walDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func TestTxnBankShardDurable(t *testing.T) {
+	walDir := t.TempDir()
+	ss := openBankShard(t, walDir)
+	st := NewForShard(ss)
+	want := runBank(t, st, 32, 8, 200)
+	if got := bankSum(t, st, 32); got != want {
+		t.Fatalf("pre-close sum %d, want %d", got, want)
+	}
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ss2 := openBankShard(t, walDir)
+	defer ss2.Close()
+	st2 := NewForShard(ss2)
+	if got := bankSum(t, st2, 32); got != want {
+		t.Fatalf("post-recovery sum %d, want %d", got, want)
+	}
+	// The recovered ID counter sits above every logged transaction ID.
+	if ss2.RecoveryStats().MaxTxnID == 0 {
+		t.Fatal("recovered MaxTxnID is zero after transactional load")
+	}
+}
+
+// TestTxnBankShardCrash kills the logs mid-workload (simulated power
+// failure: all unsynced buffers dropped) and checks the recovered store
+// conserved the total — commits apply all-or-nothing on every shard even
+// when the crash lands inside the cross-shard two-phase window.
+func TestTxnBankShardCrash(t *testing.T) {
+	walDir := t.TempDir()
+	ss := openBankShard(t, walDir)
+	st := NewForShard(ss)
+
+	const accounts = 32
+	const initial = 1000
+	seed := st.NewSession()
+	stx := Begin(seed)
+	for i := 0; i < accounts; i++ {
+		stx.Put(tkey(uint64(i)), initial)
+	}
+	if res, err := stx.Commit(); err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("seed: %+v %v", res, err)
+	}
+	seed.Release()
+	for _, sh := range ss.Shards() {
+		if err := sh.Durable().Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			s := st.NewSession()
+			defer s.Release()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				from := uint64(rng.Intn(accounts))
+				to := uint64(rng.Intn(accounts))
+				if from == to {
+					continue
+				}
+				_, err := RunTxn(s, 3, func(tx *Tx) error {
+					fv, _, err := tx.Get(tkey(from))
+					if err != nil {
+						return err
+					}
+					if fv < 5 {
+						return nil
+					}
+					tv, _, err := tx.Get(tkey(to))
+					if err != nil {
+						return err
+					}
+					tx.Put(tkey(from), fv-5)
+					tx.Put(tkey(to), tv+5)
+					return nil
+				})
+				if err != nil {
+					return // post-crash errors are expected
+				}
+			}
+		}(w)
+	}
+	time.Sleep(150 * time.Millisecond)
+	for _, sh := range ss.Shards() {
+		if err := sh.Durable().Crash(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := ss.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ss2 := openBankShard(t, walDir)
+	defer ss2.Close()
+	st2 := NewForShard(ss2)
+	if got := bankSum(t, st2, accounts); got != accounts*initial {
+		t.Fatalf("crash recovery broke conservation: sum %d, want %d", got, accounts*initial)
+	}
+}
+
+func TestTxnReadOnlyAndStats(t *testing.T) {
+	d := bwtree.New(bwtree.DefaultOptions())
+	defer d.Close()
+	st := NewForTree(d)
+	s := st.NewSession()
+	defer s.Release()
+	tx := Begin(s)
+	tx.Put(tkey(1), 1)
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx.Reset()
+	if _, _, err := tx.Get(tkey(1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tx.Commit() // read-only: validation is the whole commit
+	if err != nil || res.Status != index.TxnCommitted {
+		t.Fatalf("read-only commit: %+v %v", res, err)
+	}
+	stats := st.Stats()
+	if stats.Commits != 2 || stats.ReadOnly != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Validate.Total() != 2 {
+		t.Fatalf("validation histogram count = %d", stats.Validate.Total())
+	}
+}

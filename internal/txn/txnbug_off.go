@@ -1,0 +1,8 @@
+//go:build !txnbug
+
+package txn
+
+// bugSkipReadLocks is the production value: read validation try-locks
+// each read stripe before rechecking its version. The constant false
+// lets the compiler erase the seeded-bug branch entirely.
+const bugSkipReadLocks = false

@@ -1,0 +1,12 @@
+//go:build txnbug
+
+package txn
+
+// bugSkipReadLocks deliberately reintroduces the classic OCC write-skew
+// bug: read validation rechecks versions WITHOUT try-locking the read
+// stripes first. Two transactions that each read what the other writes
+// can then both validate before either applies — both commit, and the
+// result is a history no serial order explains. The serializability
+// checker's red self-test builds with this tag to prove the checker
+// catches exactly this class of bug; see internal/histcheck.
+const bugSkipReadLocks = true

@@ -1,0 +1,40 @@
+package txn
+
+import "repro/internal/obs"
+
+// AugmentVars adds the engine's counters and validation-latency summary
+// to an existing observability source (a tree's or sharded store's
+// DebugVars), so a transactional server's /metrics carries
+// txn_commits_total, txn_conflicts_total, txn_readonly_total, and the
+// bwtree_txn_validate_seconds summary next to the store's own series.
+func AugmentVars(v obs.Vars, st *Store) obs.Vars {
+	baseCounters := v.Counters
+	v.Counters = func() map[string]uint64 {
+		var m map[string]uint64
+		if baseCounters != nil {
+			m = baseCounters()
+		} else {
+			m = make(map[string]uint64)
+		}
+		s := st.Stats()
+		m["txn_commits"] = s.Commits
+		m["txn_conflicts"] = s.Conflicts
+		m["txn_readonly"] = s.ReadOnly
+		return m
+	}
+	baseHists := v.MetricHists
+	v.MetricHists = func() []obs.HistFeed {
+		var feeds []obs.HistFeed
+		if baseHists != nil {
+			feeds = baseHists()
+		}
+		s := st.Stats()
+		return append(feeds, obs.HistFeed{
+			Name:    "bwtree_txn_validate_seconds",
+			Help:    "Transaction commit latency through validation and write resolution (excludes log append and fsync).",
+			Seconds: true,
+			Snap:    s.Validate,
+		})
+	}
+	return v
+}

@@ -30,7 +30,25 @@ func FuzzWALDecode(f *testing.F) {
 	bad[headerSize+5] ^= 0x40
 	f.Add(bad)
 
+	// Transaction-record seeds: a segment holding all three record kinds
+	// (self-contained commit, prepare, decision), a cut through the middle
+	// of the txn record's blob, and a blob with a corrupt op count.
+	txnSeg := buildSeedTxnSegment()
+	f.Add(txnSeg)
+	f.Add(txnSeg[:len(txnSeg)-len(txnSeg)/3])
+	badTxn := append([]byte{}, txnSeg...)
+	badTxn[headerSize+frameSize+10] ^= 0x01 // inside the first blob's nops
+	f.Add(badTxn)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The sub-op blob decoder sees CRC-verified bytes in production but
+		// must still reject arbitrary garbage cleanly: no panic, no
+		// over-read, and accepted blobs re-encode to the consumed bytes.
+		if ops, err := DecodeTxnOps(data); err == nil {
+			if re := EncodeTxnOps(nil, ops); !bytes.Equal(re, data) {
+				t.Fatalf("txn op blob does not round-trip: %d ops", len(ops))
+			}
+		}
 		if _, err := decodeSegmentHeader(data); err != nil {
 			return // undecodable header: Replay would truncate/fail, fine
 		}
@@ -49,6 +67,16 @@ func FuzzWALDecode(f *testing.F) {
 			if !bytes.Equal(re, data[off:off+n]) {
 				t.Fatalf("record at %d does not round-trip", off)
 			}
+			// An accepted transaction record's blob must decode or be
+			// rejected as a unit — a CRC-valid frame with a blob the
+			// decoder tears in half would break commit atomicity.
+			if IsTxnOp(op) {
+				if ops, err := DecodeTxnOps(key); err == nil {
+					if re := EncodeTxnOps(nil, ops); !bytes.Equal(re, key) {
+						t.Fatalf("txn record blob at %d does not round-trip", off)
+					}
+				}
+			}
 			off += n
 		}
 	})
@@ -63,6 +91,71 @@ func buildSeedSegment() []byte {
 	out = appendRecord(out, OpDelete, []byte("alpha"), 2)
 	out = appendRecord(out, OpInsert, bytes.Repeat([]byte{0x00}, 40), 3)
 	return out
+}
+
+// buildSeedTxnSegment renders a valid segment holding every transaction
+// record kind for the fuzz seeds: one self-contained commit, one
+// prepare, and one decision record.
+func buildSeedTxnSegment() []byte {
+	h := encodeSegmentHeader(1)
+	out := append([]byte{}, h[:]...)
+	blob := EncodeTxnOps(nil, []TxnOp{
+		{Op: OpInsert, Key: []byte("acct-a"), Value: 40},
+		{Op: OpUpdate, Key: []byte("acct-b"), Value: 60},
+		{Op: OpDelete, Key: []byte("acct-c"), Value: 1},
+	})
+	out = appendRecord(out, OpTxn, blob, 7)
+	prep := EncodeTxnOps(nil, []TxnOp{{Op: OpUpdate, Key: []byte("acct-d"), Value: 9}})
+	out = appendRecord(out, OpTxnPrep, prep, 8)
+	out = appendRecord(out, OpTxnCommit, EncodeTxnOps(nil, nil), 8)
+	return out
+}
+
+// TestTxnTornTailNeverHalfApplies truncates a segment at every byte
+// boundary and replays it: the transaction record must come back whole
+// (bit-exact write set, decodable blob) or not at all — no truncation
+// point may surface a partial write set. This is the framing half of the
+// commit-atomicity argument; bwtree's recovery tests cover the apply
+// half.
+func TestTxnTornTailNeverHalfApplies(t *testing.T) {
+	seg := buildSeedTxnSegment()
+	want := []TxnOp{
+		{Op: OpInsert, Key: []byte("acct-a"), Value: 40},
+		{Op: OpUpdate, Key: []byte("acct-b"), Value: 60},
+		{Op: OpDelete, Key: []byte("acct-c"), Value: 1},
+	}
+	for cut := 0; cut <= len(seg); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), seg[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sawTxn := false
+		Replay(dir, 0, func(r Record) error {
+			if !IsTxnOp(r.Op) {
+				return nil
+			}
+			ops, err := DecodeTxnOps(r.Key)
+			if err != nil {
+				t.Fatalf("cut %d: replay surfaced a txn record with torn blob: %v", cut, err)
+			}
+			if r.Op != OpTxn {
+				return nil
+			}
+			sawTxn = true
+			if len(ops) != len(want) {
+				t.Fatalf("cut %d: txn record replayed with %d of %d sub-ops", cut, len(ops), len(want))
+			}
+			for i := range ops {
+				if ops[i].Op != want[i].Op || !bytes.Equal(ops[i].Key, want[i].Key) || ops[i].Value != want[i].Value {
+					t.Fatalf("cut %d: sub-op %d mutated: %+v", cut, i, ops[i])
+				}
+			}
+			return nil
+		})
+		if full := headerSize + frameSize + 9 + len(EncodeTxnOps(nil, want)); cut >= full != sawTxn {
+			t.Fatalf("cut %d: sawTxn=%v, record ends at %d", cut, sawTxn, full)
+		}
+	}
 }
 
 // TestFuzzCorpusReplays runs every checked-in corpus entry through the
