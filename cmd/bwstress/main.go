@@ -50,6 +50,7 @@ import (
 	"repro/internal/histcheck"
 	"repro/internal/index"
 	"repro/internal/wal"
+	"repro/internal/ycsb"
 )
 
 // session is the raw operation surface in the in-memory modes; both
@@ -118,6 +119,9 @@ func main() {
 	txnShards := flag.Int("shards", 0, "txn mode: shard count for -wal (0/1 = single durable tree) and -spawn")
 	txnKills := flag.Int("kills", 1, "txn mode: crash/recover (-wal) or SIGKILL/restart (-spawn) cycles during the soak")
 	txnSpawn := flag.String("spawn", "", "txn mode: path to a bwserver binary; spawn it on -wal, drive it over sockets, and kill/restart it mid-soak")
+	workload := flag.String("workload", "", "run a named YCSB mix (a|b|c|e|insert) over Email keys instead of the random soak (see ycsb.go)")
+	distName := flag.String("dist", "zipfian", "request distribution for -workload: zipfian or uniform")
+	workloadKeys := flag.Int("workload-keys", 200_000, "population size for -workload")
 	flag.Parse()
 
 	if *txnMode {
@@ -168,6 +172,39 @@ func main() {
 		opts.PhaseTraceBuffer = 4096
 		opts.FlightRecorderSize = 512
 		opts.FlightLatencyThreshold = 250 * time.Millisecond
+	}
+
+	if *workload != "" {
+		wk, err := ycsb.ParseWorkload(*workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dist, err := ycsb.ParseDist(*distName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *walDir != "" || *serverAddr != "" || *batch > 1 || *check {
+			log.Fatal("-workload cannot be combined with -wal, -server, -batch, or -check")
+		}
+		idx := index.NewBwTreeWith("OpenBwTree", opts)
+		defer idx.Close()
+		wt := idx.(index.BwBacked).Tree()
+		if *debugAddr != "" {
+			srv, err := bwtree.ServeDebug(wt, *debugAddr)
+			if err != nil {
+				log.Fatalf("debug server: %v", err)
+			}
+			defer srv.Close()
+			log.Printf("debug endpoints at http://%s/debug", srv.Addr())
+		}
+		sd := uint64(*seed)
+		if sd == 0 {
+			sd = uint64(time.Now().UnixNano())
+		}
+		if !runYcsbSoak(wt, wk, dist, *duration, *workers, *workloadKeys, sd) {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var t *bwtree.Tree

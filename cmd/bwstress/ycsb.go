@@ -1,0 +1,155 @@
+// Named-workload mode: -workload runs one of the YCSB mixes from
+// internal/ycsb (the same generators the bwbench experiments use) against
+// an in-process tree instead of the random insert/delete/update/lookup
+// soak. The scan-heavy mix (-workload e) is the scan-pipelining path: 95%
+// range scans that cross leaf boundaries and exercise the right-sibling
+// prefetch, with -dist selecting Zipfian or uniform request skew.
+//
+// Verification is invariant-based rather than mirror-based (the Zipfian
+// streams share keys across workers, so no worker owns exact state):
+// reads and updates target loaded population keys and must hit; every
+// scan's output must be strictly ascending and start at or after its
+// start key; and a final full sweep checks global order plus the presence
+// of every population key.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/bwtree"
+	"repro/internal/ycsb"
+)
+
+// runYcsbSoak loads a population of Email keys, drives the named mix for
+// duration across workers, and returns false if any invariant broke.
+func runYcsbSoak(t *bwtree.Tree, w ycsb.Workload, dist ycsb.RequestDist, duration time.Duration, workers, keys int, seed uint64) bool {
+	ks := ycsb.NewKeySet(ycsb.Email, keys)
+	var failed atomic.Bool
+	fail := func(worker int, format string, args ...any) {
+		log.Printf("worker %d: %s", worker, fmt.Sprintf(format, args...))
+		failed.Store(true)
+	}
+
+	// Load phase: the whole population via Insert-only streams, so the
+	// run phase's reads and updates have a known-present target set.
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	for wid := 0; wid < workers; wid++ {
+		n := keys / workers
+		if wid < keys%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(wid, n int) {
+			defer wg.Done()
+			s := t.NewSession()
+			defer s.Release()
+			stream := ycsb.NewStreamDist(ycsb.InsertOnly, ks, wid, seed+uint64(wid), dist)
+			for i := 0; i < n; i++ {
+				op := stream.Next()
+				s.Insert(op.Key, op.Value)
+			}
+		}(wid, n)
+	}
+	wg.Wait()
+	log.Printf("loaded %d %s keys in %v", keys, ycsb.Email, time.Since(loadStart).Round(time.Millisecond))
+
+	// Timed run phase.
+	var stop atomic.Bool
+	var ops, scanned atomic.Uint64
+	timer := time.AfterFunc(duration, func() { stop.Store(true) })
+	defer timer.Stop()
+	runStart := time.Now()
+	for wid := 0; wid < workers; wid++ {
+		wg.Add(1)
+		go func(wid int) {
+			defer wg.Done()
+			s := t.NewSession()
+			defer s.Release()
+			stream := ycsb.NewStreamDist(w, ks, wid, seed^uint64(wid)*0x9E3779B97F4A7C15, dist)
+			var out []uint64
+			var prev []byte
+			var n uint64
+			for !stop.Load() && !failed.Load() {
+				op := stream.Next()
+				switch op.Kind {
+				case ycsb.OpRead:
+					if out = s.Lookup(op.Key, out[:0]); len(out) == 0 {
+						fail(wid, "read missed population key %q", op.Key)
+						return
+					}
+				case ycsb.OpUpdate:
+					if !s.Update(op.Key, op.Value) {
+						fail(wid, "update missed population key %q", op.Key)
+						return
+					}
+				case ycsb.OpInsert:
+					// Extra keys may collide with the population; either
+					// outcome is legal, the final sweep checks order.
+					s.Insert(op.Key, op.Value)
+				case ycsb.OpScan:
+					prev = append(prev[:0], op.Key...)
+					first := true
+					got := s.Scan(op.Key, op.ScanLen, func(k []byte, v uint64) bool {
+						if c := bytes.Compare(k, prev); c < 0 || (c == 0 && !first) {
+							fail(wid, "scan from %q out of order: %q after %q", op.Key, k, prev)
+							return false
+						}
+						first = false
+						prev = append(prev[:0], k...)
+						return true
+					})
+					if got == 0 && !failed.Load() {
+						// The start key is a loaded population key, so the
+						// scan must visit at least it.
+						fail(wid, "scan from population key %q visited nothing", op.Key)
+						return
+					}
+					scanned.Add(uint64(got))
+				}
+				n++
+			}
+			ops.Add(n)
+		}(wid)
+	}
+	wg.Wait()
+	elapsed := time.Since(runStart)
+	log.Printf("%s/%s: %d ops in %v (%.3f Mops/s), %d pairs scanned",
+		w, dist, ops.Load(), elapsed.Round(time.Millisecond),
+		float64(ops.Load())/elapsed.Seconds()/1e6, scanned.Load())
+
+	if failed.Load() {
+		return false
+	}
+
+	// Final sweep: one full scan must be strictly ascending and contain
+	// every population key (inserts only ever add; nothing deletes).
+	s := t.NewSession()
+	defer s.Release()
+	var prev []byte
+	total := 0
+	pop := make(map[string]bool, len(ks.Keys))
+	for _, k := range ks.Keys {
+		pop[string(k)] = true
+	}
+	s.Scan([]byte{0}, 1<<40, func(k []byte, v uint64) bool {
+		if prev != nil && bytes.Compare(k, prev) <= 0 {
+			fail(-1, "final sweep out of order: %q after %q", k, prev)
+			return false
+		}
+		prev = append(prev[:0], k...)
+		delete(pop, string(k))
+		total++
+		return true
+	})
+	if len(pop) > 0 {
+		fail(-1, "final sweep missing %d of %d population keys", len(pop), keys)
+	}
+	log.Printf("final sweep: %d keys, order and population presence verified", total)
+	return !failed.Load()
+}

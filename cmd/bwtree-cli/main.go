@@ -353,6 +353,8 @@ func printShape(t *bwtree.Tree) {
 		{"leaf_prealloc_util", st.LeafPreallocUse},
 		{"flat_bases", st.FlatBases},
 		{"arena_bytes", st.ArenaBytes},
+		{"inner_flat_bases", st.InnerFlatBases},
+		{"inner_arena_bytes", st.InnerArenaBytes},
 		{"key_bytes", st.KeyBytes},
 		{"gc_ptrs_per_leaf", st.GCPtrsPerLeaf},
 		{"gc_ptrs_per_inner", st.GCPtrsPerInner},

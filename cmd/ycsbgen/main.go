@@ -23,7 +23,7 @@ import (
 
 func main() {
 	workload := flag.String("workload", "a", "workload: insert, a, c, e")
-	keyType := flag.String("keys", "rand", "key type: mono, rand, email, hc")
+	keyType := flag.String("keys", "rand", "key type: mono, rand, email, hc, path")
 	n := flag.Int("n", 100000, "operations to emit")
 	population := flag.Int("population", 1000000, "loaded key population backing the workload")
 	seed := flag.Uint64("seed", 2018, "generator seed")

@@ -6,6 +6,14 @@
 // Lines are distributed round-robin across worker goroutines; see
 // ycsbgen's documentation for the trace format.
 //
+// With -gen, the trace is synthesized in-process from the same
+// internal/ycsb generators instead of read from stdin — no pipe, no hex
+// encode/decode, and the population backing a mixed workload is loaded
+// into the index untimed before the replay starts (a piped trace leaves
+// loading to the operator, so its reads measure misses on a fresh index):
+//
+//	ycsbreplay -gen e -dist uniform -gen-n 1000000 -index openbw -threads 4
+//
 // With -batch N, INSERT and READ lines are accumulated per worker and
 // flushed through the index's batch entry points in windows of N (the
 // Bw-Tree runs its amortized-epoch batch path; other indexes fall back
@@ -26,6 +34,7 @@ import (
 	"repro/bwtree"
 	"repro/internal/core"
 	"repro/internal/index"
+	"repro/internal/ycsb"
 )
 
 func indexByName(name string) (index.Index, error) {
@@ -83,6 +92,12 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve expvar/pprof/latency debug endpoints on this address (Bw-Tree indexes only)")
 	traceOut := flag.String("trace-out", "", "write sampled per-op phase traces as Chrome trace-event JSON to this file (Bw-Tree indexes only)")
 	phaseSample := flag.Int("phase-sample", 64, "with -trace-out or -debug-addr: sample one op in N for phase tracing")
+	gen := flag.String("gen", "", "synthesize the trace in-process instead of reading stdin: workload insert, a, b, c, or e")
+	genKeys := flag.String("gen-keytype", "email", "key type for -gen: mono, rand, email, path")
+	genN := flag.Int("gen-n", 1_000_000, "operations to synthesize with -gen")
+	genPop := flag.Int("gen-population", 1_000_000, "loaded key population backing a -gen mixed workload")
+	genSeed := flag.Uint64("gen-seed", 2018, "generator seed for -gen")
+	distName := flag.String("dist", "zipfian", "request distribution for -gen: zipfian or uniform")
 	flag.Parse()
 
 	var idx index.Index
@@ -113,7 +128,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug endpoints at http://%s/debug/vars\n", srv.Addr())
 	}
 
-	ops, err := parseTrace(os.Stdin)
+	var ops []op
+	if *gen != "" {
+		ops, err = genTrace(idx, *gen, *genKeys, *distName, *genN, *genPop, *genSeed)
+	} else {
+		ops, err = parseTrace(os.Stdin)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ycsbreplay:", err)
 		os.Exit(1)
@@ -208,6 +228,54 @@ func main() {
 				len(traces), *traceOut)
 		}
 	}
+}
+
+// genTrace synthesizes a trace in-process with the internal/ycsb
+// generators (the exact ops ycsbgen would have piped, plus an explicit
+// request distribution), preloading the population into idx untimed when
+// the workload is a mixed one so the replay probes real data.
+func genTrace(idx index.Index, workload, keyType, distName string, n, population int, seed uint64) ([]op, error) {
+	wl, err := ycsb.ParseWorkload(workload)
+	if err != nil {
+		return nil, err
+	}
+	kt, err := ycsb.ParseKeyType(keyType)
+	if err != nil {
+		return nil, err
+	}
+	dist, err := ycsb.ParseDist(distName)
+	if err != nil {
+		return nil, err
+	}
+	pop := population
+	if wl == ycsb.InsertOnly {
+		pop = n
+	}
+	ks := ycsb.NewKeySet(kt, pop)
+	if wl != ycsb.InsertOnly {
+		s := idx.NewSession()
+		for i, k := range ks.Keys {
+			s.Insert(k, uint64(i))
+		}
+		s.Release()
+		fmt.Fprintf(os.Stderr, "preloaded %d %s keys (untimed)\n", len(ks.Keys), kt)
+	}
+	stream := ycsb.NewStreamDist(wl, ks, 0, seed, dist)
+	ops := make([]op, 0, n)
+	for i := 0; i < n; i++ {
+		o := stream.Next()
+		switch o.Kind {
+		case ycsb.OpInsert:
+			ops = append(ops, op{kind: 'I', key: o.Key, value: o.Value})
+		case ycsb.OpRead:
+			ops = append(ops, op{kind: 'R', key: o.Key})
+		case ycsb.OpUpdate:
+			ops = append(ops, op{kind: 'U', key: o.Key, value: o.Value})
+		case ycsb.OpScan:
+			ops = append(ops, op{kind: 'S', key: o.Key, n: o.ScanLen})
+		}
+	}
+	return ops, nil
 }
 
 func parseTrace(f *os.File) ([]op, error) {

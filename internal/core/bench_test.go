@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -60,6 +61,55 @@ func BenchmarkBaseSearch(b *testing.B) {
 					flat.baseSearch(probes[i&63])
 				}
 			})
+			// The same probes through the conditional-move variant inner
+			// routing uses (flatSearch dispatches on isLeaf).
+			inner := flatBaseFromKeys(keys)
+			inner.kind, inner.isLeaf = kInnerBase, false
+			b.Run("branchfree/"+tag, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					inner.baseSearch(probes[i&63])
+				}
+			})
 		}
+	}
+}
+
+// BenchmarkDeepDescent is the end-to-end regime the flatnode inner arm
+// gates: consolidated lookups on a deliberately deep tree (fanout 64,
+// leaf size 16 — 3+ inner levels at this population, matching the
+// harness inner arm), with the inner arena layout on or off and flat
+// leaves on both sides. The guard for the suffix-word routing path:
+// flatinner=true must not lose to flatinner=false.
+func BenchmarkDeepDescent(b *testing.B) {
+	const n = 200_000
+	keys := make([][]byte, n)
+	for i := range keys {
+		j := (i * 7919) % n // insertion order unrelated to sort order
+		keys[i] = []byte(fmt.Sprintf("user%08d@bench.example.com......", j))
+	}
+	for _, on := range []bool{false, true} {
+		b.Run(fmt.Sprintf("flatinner=%t", on), func(b *testing.B) {
+			opts := DefaultOptions()
+			opts.FlatBaseNodes = true
+			opts.FlatInnerNodes = on
+			opts.ScanPipelining = false
+			opts.InnerNodeSize = 64
+			opts.LeafNodeSize = 16
+			tr := New(opts)
+			defer tr.Close()
+			s := tr.NewSession()
+			defer s.Release()
+			for i, k := range keys {
+				s.Insert(k, uint64(i))
+			}
+			tr.ConsolidateAll()
+			runtime.GC() // clear construction garbage before timing
+			var out []uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out = s.Lookup(keys[i%n], out[:0])
+			}
+		})
 	}
 }

@@ -149,7 +149,7 @@ func (s *Session) buildBase(c collected, head *delta) *delta {
 		rightSib: head.rightSib,
 	}
 	s.t.setBaseKeys(nb, c.keys)
-	if s.t.opts.FlatBaseNodes {
+	if s.t.opts.anyFlatNodes() {
 		// The inherited bounds may alias the retired chain's arena (collect
 		// hands out zero-copy subslices); owning copies keep this node's
 		// attributes from pinning its predecessor's arena.

@@ -1,9 +1,14 @@
 package core
 
-import "bytes"
+import (
+	"bytes"
+	"encoding/binary"
+	"math/bits"
+)
 
-// This file implements the flat base-node layout (Options.FlatBaseNodes)
-// and the single window-search helper shared by both layouts.
+// This file implements the flat base-node layout (Options.FlatBaseNodes
+// for leaf bases, Options.FlatInnerNodes for inner and root bases) and
+// the window-search helpers shared by both layouts.
 //
 // The slice layout stores base keys as keys [][]byte: one 24-byte slice
 // header plus a pointer chase per key, so every binary-search probe eats a
@@ -24,20 +29,27 @@ import "bytes"
 
 // buildFlat materializes a sorted key set as a flat arena. The offset
 // array always has len(keys)+1 entries; a non-nil offs is what marks a
-// base node as flat.
-func buildFlat(keys [][]byte) (arena []byte, offs []uint32, pfx uint32, nil0 bool) {
+// base node as flat. stride is the uniform key length when every key has
+// the same non-zero length (the common case for padded fixed-width keys),
+// 0 otherwise; a nil -inf separator has length 0 and so always forces the
+// variable-width layout.
+func buildFlat(keys [][]byte) (arena []byte, offs []uint32, pfx uint32, stride uint32, nil0 bool) {
 	n := len(keys)
 	offs = make([]uint32, n+1)
 	if n == 0 {
-		return nil, offs, 0, false
+		return nil, offs, 0, 0, false
 	}
 	nil0 = keys[0] == nil
 	// Keys are sorted, so the prefix shared by all of them is the prefix
 	// shared by the first and last.
 	p := commonPrefix(keys[0], keys[n-1])
 	total := 0
+	uniform := len(keys[0])
 	for _, k := range keys {
 		total += len(k)
+		if len(k) != uniform {
+			uniform = 0
+		}
 	}
 	arena = make([]byte, 0, total)
 	for i, k := range keys {
@@ -45,7 +57,7 @@ func buildFlat(keys [][]byte) (arena []byte, offs []uint32, pfx uint32, nil0 boo
 		arena = append(arena, k...)
 	}
 	offs[n] = uint32(len(arena))
-	return arena, offs, uint32(p), nil0
+	return arena, offs, uint32(p), uint32(uniform), nil0
 }
 
 // commonPrefix returns the length of the longest common prefix of a and b
@@ -60,14 +72,61 @@ func commonPrefix(a, b []byte) int {
 }
 
 // setBaseKeys installs a materialized key set into base node nb using the
-// tree's configured layout. Every base-construction site funnels through
-// here (consolidation via buildBase, splits, BulkLoad, New).
+// tree's configured layout for nb's level: FlatBaseNodes governs leaf
+// bases, FlatInnerNodes governs inner and root bases. Every
+// base-construction site funnels through here (consolidation via
+// buildBase, splits, BulkLoad, New) and sets nb.isLeaf first.
 func (t *Tree) setBaseKeys(nb *delta, keys [][]byte) {
-	if t.opts.FlatBaseNodes {
-		nb.arena, nb.offs, nb.pfx, nb.nil0 = buildFlat(keys)
+	flat := t.opts.FlatBaseNodes
+	if !nb.isLeaf {
+		flat = t.opts.FlatInnerNodes
+	}
+	if flat {
+		nb.arena, nb.offs, nb.pfx, nb.stride, nb.nil0 = buildFlat(keys)
+		if !nb.isLeaf {
+			nb.sfx = buildSuffixWords(keys, nb.pfx)
+		}
 		return
 	}
 	nb.keys = keys
+}
+
+// buildSuffixWords packs the first 8 post-prefix bytes of every key into
+// a big-endian word (shorter suffixes are zero padded; the nil -inf
+// separator packs to 0). The words order-embed the suffixes: because the
+// pad byte 0x00 is the minimum byte, two words compare unequal exactly
+// when the underlying suffixes' first 8 bytes order them, and compare
+// equal only when those bytes are identical — so a word comparison either
+// decides the probe outright or flags the (rare) tie that needs the
+// arena. Inner bases only: a descent probes every level's separator set,
+// and for fanout-64 nodes the whole plane is ~8 cache lines against ~40
+// scattered arena lines, while leaf probes happen once per operation and
+// keep the plain arena search.
+func buildSuffixWords(keys [][]byte, pfx uint32) []uint64 {
+	sfx := make([]uint64, len(keys))
+	for i, k := range keys {
+		var b [8]byte
+		if int(pfx) < len(k) {
+			copy(b[:], k[pfx:])
+		}
+		sfx[i] = binary.BigEndian.Uint64(b[:])
+	}
+	return sfx
+}
+
+// keyWord packs a probe key's first 8 bytes the same way buildSuffixWords
+// packs suffixes.
+func keyWord(k []byte) uint64 {
+	var b [8]byte
+	copy(b[:], k)
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// anyFlatNodes reports whether either level's bases use the arena layout,
+// in which case collected keys can alias a retired chain's arena and
+// boundary keys must be cloned before being installed as node attributes.
+func (o *Options) anyFlatNodes() bool {
+	return o.FlatBaseNodes || o.FlatInnerNodes
 }
 
 // cloneBound copies a boundary key, preserving nil (-inf/+inf). Flat-mode
@@ -140,10 +199,145 @@ func (n *delta) flatSearch(k []byte, lo, hi int, strict bool) (int, bool) {
 		}
 		k = k[p:]
 	}
-	pos := windowSearch(nil, n.arena, n.offs, n.pfx, k, lo, hi, strict)
+	var pos int
+	if n.isLeaf {
+		pos = windowSearch(nil, n.arena, n.offs, n.pfx, k, lo, hi, strict)
+	} else {
+		// Inner windows have a small fixed fanout and every routing probe
+		// descends through several of them; the branch-free variant keeps
+		// the pipeline from flushing on the unpredictable comparison.
+		limit := 0
+		if strict {
+			limit = 1
+		}
+		pos = branchFreeSearch(n.arena, n.offs, n.pfx, k, lo, hi, limit)
+	}
 	exact := pos < len(n.offs)-1 &&
 		bytes.Equal(n.arena[n.offs[pos]+n.pfx:n.offs[pos+1]], k)
 	return pos, exact
+}
+
+// routeSearch is flatSearch for inner routing probes, which never use the
+// exactness bit: it returns the position alone and skips the equality
+// check. The node's common prefix is compared once up front (a probe that
+// sorts outside the prefix is resolved by that compare alone); the search
+// proper then runs over the suffix-word plane when the base carries one,
+// falling back to the fixed-stride or variable-width arena search
+// otherwise. All dispatch branches are node-constant, so the predictor
+// eats them. Keys are stored whole in the arena, so the fallback's
+// full-suffix comparison is always correct; a leftmost inner base's nil
+// -inf separator reads as the empty key (word 0), which compares below
+// every real key — the same routing decision the slice layout makes.
+func (n *delta) routeSearch(k []byte, strict bool) int {
+	limit := 0
+	if strict {
+		limit = 1
+	}
+	hi := len(n.offs) - 1
+	if p := int(n.pfx); p > 0 {
+		m := min(len(k), p)
+		// pfx > 0 implies key 0 is not the nil separator.
+		o0 := n.offs[0]
+		c := bytes.Compare(k[:m], n.arena[o0:o0+uint32(m)])
+		if c < 0 || c == 0 && len(k) < p {
+			return 0 // k sorts before every key of the node
+		}
+		if c > 0 {
+			return hi // k sorts after every key of the node
+		}
+		k = k[p:]
+	}
+	if n.sfx != nil {
+		return n.wordSearch(k, hi, limit)
+	}
+	if n.stride != 0 {
+		return strideSearch(n.arena, n.stride, n.pfx, hi, k, limit)
+	}
+	return branchFreeSearch(n.arena, n.offs, n.pfx, k, 0, hi, limit)
+}
+
+// wordSearch is the routing search over a flat inner base's suffix-word
+// plane: the same fixed-trip power-of-two descent as branchFreeSearch,
+// but each probe is one load from a pointer-free []uint64 and a register
+// compare instead of a bytes.Compare against scattered arena lines — the
+// whole plane of a fanout-64 node spans 8 cache lines. An unequal word
+// decides the probe outright (buildSuffixWords' packing order-embeds the
+// suffixes); an equal word means the first 8 suffix bytes are identical
+// and the tie falls back to the full suffix in the arena — rare for
+// separator sets, whose neighbours are whole leaves apart, and the branch
+// predictor treats the fallback as never-taken. k arrives with the node's
+// common prefix already stripped.
+func (n *delta) wordSearch(k []byte, hi, limit int) int {
+	if hi <= 0 {
+		return 0
+	}
+	kw := keyWord(k)
+	sfx := n.sfx
+	i := 0
+	for b := 1 << (bits.Len(uint(hi)) - 1); b != 0; b >>= 1 {
+		if m := i + b; m <= hi {
+			if w := sfx[m-1]; w != kw {
+				if w < kw {
+					i = m
+				}
+			} else if bytes.Compare(n.arena[n.offs[m-1]+n.pfx:n.offs[m]], k) < limit {
+				i = m
+			}
+		}
+	}
+	return i
+}
+
+// strideSearch is branchFreeSearch for a fixed-width arena: when every key
+// of the base has the same length (delta.stride), probe addresses are pure
+// arithmetic — the dependent offs load between computing a probe index and
+// touching arena bytes disappears, so the comparison's memory access can
+// issue as soon as the index is known. Separator sets made of padded
+// fixed-width keys hit this path on every inner probe of a descent. pfx
+// skips the node's common prefix (k must arrive pre-stripped); pass 0 to
+// compare whole keys.
+func strideSearch(arena []byte, stride, pfx uint32, n int, k []byte, limit int) int {
+	if n <= 0 {
+		return 0
+	}
+	i := 0
+	for b := 1 << (bits.Len(uint(n)) - 1); b != 0; b >>= 1 {
+		if m := i + b; m <= n {
+			o := uint32(m-1) * stride
+			if bytes.Compare(arena[o+pfx:o+stride], k) < limit {
+				i = m
+			}
+		}
+	}
+	return i
+}
+
+// branchFreeSearch is windowSearch's arena arm restructured as a
+// branchless lower/upper bound (Knuth's uniform binary search): the
+// stride runs through the descending powers of two from the window width,
+// so the trip count is fixed by the width alone, and the body's
+// data-dependent decision is a conditional add the compiler lowers to a
+// conditional move — no branch for the predictor to miss on the 50/50
+// comparison outcome. Total comparisons are floor(log2(n))+1, the same as
+// the early-exit-free bisection in windowSearch — a naive fixed-trip
+// halving loop pays one extra (cache-cold) probe whenever the width is
+// not a power of two, which measurably loses on deep trees. limit folds
+// the bound kind exactly as in windowSearch: 0 finds the first key >= k,
+// 1 the first key > k. k arrives with the node's common prefix already
+// stripped, as in windowSearch.
+func branchFreeSearch(arena []byte, offs []uint32, pfx uint32, k []byte, lo, hi int, limit int) int {
+	i, n := lo, hi-lo
+	if n <= 0 {
+		return lo
+	}
+	for b := 1 << (bits.Len(uint(n)) - 1); b != 0; b >>= 1 {
+		if m := i + b; m <= hi {
+			if bytes.Compare(arena[offs[m-1]+pfx:offs[m]], k) < limit {
+				i = m
+			}
+		}
+	}
+	return i
 }
 
 // windowSearch returns the smallest position in [lo, hi) whose key is

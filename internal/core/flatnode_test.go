@@ -11,31 +11,33 @@ import (
 // search testing.
 func flatBaseFromKeys(keys [][]byte) *delta {
 	n := &delta{kind: kLeafBase, isLeaf: true, size: int32(len(keys))}
-	n.arena, n.offs, n.pfx, n.nil0 = buildFlat(keys)
+	n.arena, n.offs, n.pfx, n.stride, n.nil0 = buildFlat(keys)
 	n.base = n
 	return n
 }
 
 func TestBuildFlat(t *testing.T) {
 	cases := []struct {
-		name string
-		keys [][]byte
-		pfx  uint32
-		nil0 bool
+		name   string
+		keys   [][]byte
+		pfx    uint32
+		stride uint32
+		nil0   bool
 	}{
-		{"empty", nil, 0, false},
-		{"single", [][]byte{[]byte("hello")}, 5, false},
-		{"shared-prefix", [][]byte{[]byte("user123"), []byte("user456"), []byte("user789")}, 4, false},
-		{"no-prefix", [][]byte{[]byte("alpha"), []byte("beta")}, 0, false},
-		{"nil-separator", [][]byte{nil, []byte("m")}, 0, true},
-		{"duplicates", [][]byte{[]byte("dup"), []byte("dup"), []byte("dup")}, 3, false},
-		{"prefix-is-a-key", [][]byte{[]byte("ab"), []byte("abc"), []byte("abd")}, 2, false},
+		{"empty", nil, 0, 0, false},
+		{"single", [][]byte{[]byte("hello")}, 5, 5, false},
+		{"shared-prefix", [][]byte{[]byte("user123"), []byte("user456"), []byte("user789")}, 4, 7, false},
+		{"no-prefix", [][]byte{[]byte("alpha"), []byte("beta")}, 0, 0, false},
+		{"nil-separator", [][]byte{nil, []byte("m")}, 0, 0, true},
+		{"duplicates", [][]byte{[]byte("dup"), []byte("dup"), []byte("dup")}, 3, 3, false},
+		{"prefix-is-a-key", [][]byte{[]byte("ab"), []byte("abc"), []byte("abd")}, 2, 0, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			n := flatBaseFromKeys(tc.keys)
-			if n.pfx != tc.pfx || n.nil0 != tc.nil0 {
-				t.Fatalf("pfx=%d nil0=%t, want %d/%t", n.pfx, n.nil0, tc.pfx, tc.nil0)
+			if n.pfx != tc.pfx || n.stride != tc.stride || n.nil0 != tc.nil0 {
+				t.Fatalf("pfx=%d stride=%d nil0=%t, want %d/%d/%t",
+					n.pfx, n.stride, n.nil0, tc.pfx, tc.stride, tc.nil0)
 			}
 			if got := n.baseLen(); got != len(tc.keys) {
 				t.Fatalf("baseLen=%d, want %d", got, len(tc.keys))
@@ -116,7 +118,7 @@ func TestFlatRouteMatchesSlice(t *testing.T) {
 	kids := []nodeID{10, 20, 30, 40, 50}
 	slice := &delta{kind: kInnerBase, keys: keys, kids: kids}
 	flat := &delta{kind: kInnerBase, kids: kids}
-	flat.arena, flat.offs, flat.pfx, flat.nil0 = buildFlat(keys)
+	flat.arena, flat.offs, flat.pfx, flat.stride, flat.nil0 = buildFlat(keys)
 
 	probes := []string{"a", "e", "e0", "ee", "eee", "j", "k", "k1", "q", "r", "z"}
 	for _, p := range probes {
@@ -130,86 +132,96 @@ func TestFlatRouteMatchesSlice(t *testing.T) {
 	}
 }
 
-// TestFlatLayoutDifferential runs one random operation stream against a
-// flat-layout tree and a slice-layout tree with tiny nodes (forcing
-// splits, merges, and consolidations) and demands identical results.
+// TestFlatLayoutDifferential runs one random operation stream against an
+// arena-layout tree (each combination of leaf/inner flat flags) and an
+// all-slice tree with tiny nodes (forcing splits, merges, and
+// consolidations) and demands identical results. The flat side also runs
+// with scan pipelining on, so the sibling prefetch is exercised under
+// every layout combination.
 func TestFlatLayoutDifferential(t *testing.T) {
+	combos := []struct{ leaf, inner bool }{
+		{true, false}, {false, true}, {true, true},
+	}
 	for _, nonUnique := range []bool{false, true} {
-		t.Run(fmt.Sprintf("nonUnique=%t", nonUnique), func(t *testing.T) {
-			mk := func(flat bool) (*Tree, *Session) {
-				opts := DefaultOptions()
-				opts.FlatBaseNodes = flat
-				opts.NonUnique = nonUnique
-				opts.LeafNodeSize = 16
-				opts.InnerNodeSize = 8
-				opts.LeafChainLength = 4
-				opts.InnerChainLength = 2
-				opts.LeafMergeSize = 4
-				opts.InnerMergeSize = 2
-				tr := New(opts)
-				return tr, tr.NewSession()
-			}
-			ft, fs := mk(true)
-			defer ft.Close()
-			st, ss := mk(false)
-			defer st.Close()
+		for _, combo := range combos {
+			t.Run(fmt.Sprintf("nonUnique=%t/leafFlat=%t/innerFlat=%t", nonUnique, combo.leaf, combo.inner), func(t *testing.T) {
+				mk := func(leafFlat, innerFlat bool) (*Tree, *Session) {
+					opts := DefaultOptions()
+					opts.FlatBaseNodes = leafFlat
+					opts.FlatInnerNodes = innerFlat
+					opts.ScanPipelining = leafFlat || innerFlat
+					opts.NonUnique = nonUnique
+					opts.LeafNodeSize = 16
+					opts.InnerNodeSize = 8
+					opts.LeafChainLength = 4
+					opts.InnerChainLength = 2
+					opts.LeafMergeSize = 4
+					opts.InnerMergeSize = 2
+					tr := New(opts)
+					return tr, tr.NewSession()
+				}
+				ft, fs := mk(combo.leaf, combo.inner)
+				defer ft.Close()
+				st, ss := mk(false, false)
+				defer st.Close()
 
-			rng := rand.New(rand.NewSource(7))
-			key := func() []byte {
-				// Shared prefix plus a short tail: exercises prefix-skip.
-				return []byte(fmt.Sprintf("key:%04d", rng.Intn(400)))
-			}
-			for op := 0; op < 8000; op++ {
-				k := key()
-				v := uint64(rng.Intn(4))
-				switch rng.Intn(10) {
-				case 0, 1, 2:
-					if got, want := fs.Insert(k, v), ss.Insert(k, v); got != want {
-						t.Fatalf("op %d: Insert(%q,%d) flat=%t slice=%t", op, k, v, got, want)
-					}
-				case 3:
-					if got, want := fs.Delete(k, v), ss.Delete(k, v); got != want {
-						t.Fatalf("op %d: Delete(%q,%d) flat=%t slice=%t", op, k, v, got, want)
-					}
-				case 4:
-					if got, want := fs.Update(k, v), ss.Update(k, v); got != want {
-						t.Fatalf("op %d: Update(%q,%d) flat=%t slice=%t", op, k, v, got, want)
-					}
-				case 5:
-					var fgot, sgot []uint64
-					fgot = fs.Lookup(k, fgot)
-					sgot = ss.Lookup(k, sgot)
-					sortU64(fgot)
-					sortU64(sgot)
-					if fmt.Sprint(fgot) != fmt.Sprint(sgot) {
-						t.Fatalf("op %d: Lookup(%q) flat=%v slice=%v", op, k, fgot, sgot)
-					}
-				default:
-					count := rng.Intn(30) + 1
-					var fk, sk []string
-					fs.Scan(k, count, func(kk []byte, vv uint64) bool {
-						fk = append(fk, fmt.Sprintf("%s=%d", kk, vv))
-						return true
-					})
-					ss.Scan(k, count, func(kk []byte, vv uint64) bool {
-						sk = append(sk, fmt.Sprintf("%s=%d", kk, vv))
-						return true
-					})
-					if fmt.Sprint(fk) != fmt.Sprint(sk) {
-						t.Fatalf("op %d: Scan(%q,%d)\nflat:  %v\nslice: %v", op, k, count, fk, sk)
+				rng := rand.New(rand.NewSource(7))
+				key := func() []byte {
+					// Shared prefix plus a short tail: exercises prefix-skip.
+					return []byte(fmt.Sprintf("key:%04d", rng.Intn(400)))
+				}
+				for op := 0; op < 8000; op++ {
+					k := key()
+					v := uint64(rng.Intn(4))
+					switch rng.Intn(10) {
+					case 0, 1, 2:
+						if got, want := fs.Insert(k, v), ss.Insert(k, v); got != want {
+							t.Fatalf("op %d: Insert(%q,%d) flat=%t slice=%t", op, k, v, got, want)
+						}
+					case 3:
+						if got, want := fs.Delete(k, v), ss.Delete(k, v); got != want {
+							t.Fatalf("op %d: Delete(%q,%d) flat=%t slice=%t", op, k, v, got, want)
+						}
+					case 4:
+						if got, want := fs.Update(k, v), ss.Update(k, v); got != want {
+							t.Fatalf("op %d: Update(%q,%d) flat=%t slice=%t", op, k, v, got, want)
+						}
+					case 5:
+						var fgot, sgot []uint64
+						fgot = fs.Lookup(k, fgot)
+						sgot = ss.Lookup(k, sgot)
+						sortU64(fgot)
+						sortU64(sgot)
+						if fmt.Sprint(fgot) != fmt.Sprint(sgot) {
+							t.Fatalf("op %d: Lookup(%q) flat=%v slice=%v", op, k, fgot, sgot)
+						}
+					default:
+						count := rng.Intn(30) + 1
+						var fk, sk []string
+						fs.Scan(k, count, func(kk []byte, vv uint64) bool {
+							fk = append(fk, fmt.Sprintf("%s=%d", kk, vv))
+							return true
+						})
+						ss.Scan(k, count, func(kk []byte, vv uint64) bool {
+							sk = append(sk, fmt.Sprintf("%s=%d", kk, vv))
+							return true
+						})
+						if fmt.Sprint(fk) != fmt.Sprint(sk) {
+							t.Fatalf("op %d: Scan(%q,%d)\nflat:  %v\nslice: %v", op, k, count, fk, sk)
+						}
 					}
 				}
-			}
-			if err := ft.Validate(); err != nil {
-				t.Fatalf("flat tree validate: %v", err)
-			}
-			if err := st.Validate(); err != nil {
-				t.Fatalf("slice tree validate: %v", err)
-			}
-			if got, want := ft.Count(), st.Count(); got != want {
-				t.Fatalf("count: flat %d, slice %d", got, want)
-			}
-		})
+				if err := ft.Validate(); err != nil {
+					t.Fatalf("flat tree validate: %v", err)
+				}
+				if err := st.Validate(); err != nil {
+					t.Fatalf("slice tree validate: %v", err)
+				}
+				if got, want := ft.Count(), st.Count(); got != want {
+					t.Fatalf("count: flat %d, slice %d", got, want)
+				}
+			})
+		}
 	}
 }
 
@@ -266,6 +278,12 @@ func TestFlatBulkLoad(t *testing.T) {
 		t.Errorf("FlatBases=%d, want every base flat (%d leaves + %d inner)",
 			st.FlatBases, st.LeafNodes, st.InnerNodes)
 	}
+	if st.InnerFlatBases != st.InnerNodes {
+		t.Errorf("InnerFlatBases=%d, want every inner base flat (%d)", st.InnerFlatBases, st.InnerNodes)
+	}
+	if st.InnerArenaBytes == 0 || st.InnerArenaBytes >= st.ArenaBytes {
+		t.Errorf("InnerArenaBytes=%d out of range (ArenaBytes=%d)", st.InnerArenaBytes, st.ArenaBytes)
+	}
 	if st.ArenaBytes == 0 || st.KeyBytes == 0 || st.LeafBytesPerEntry == 0 {
 		t.Errorf("footprint metrics missing: %+v", st)
 	}
@@ -280,6 +298,7 @@ func TestFlatBulkLoad(t *testing.T) {
 func TestStructureStatsSliceFootprint(t *testing.T) {
 	opts := DefaultOptions()
 	opts.FlatBaseNodes = false
+	opts.FlatInnerNodes = false
 	tr := New(opts)
 	defer tr.Close()
 	s := tr.NewSession()

@@ -27,6 +27,12 @@ func FuzzTreeVsModel(f *testing.F) {
 	f.Add(fuzzSeed(0x03))
 	f.Add(fuzzSeed(0x01))
 	f.Add(fuzzSeed(0x02))
+	// The four leaf × inner layout combinations (bits 2 and 3 are
+	// inverted: set means slice). 0x00 above is flat/flat.
+	f.Add(fuzzSeed(0x04)) // slice leaf, flat inner
+	f.Add(fuzzSeed(0x08)) // flat leaf, slice inner
+	f.Add(fuzzSeed(0x0C)) // slice leaf, slice inner
+	f.Add(fuzzSeed(0x0D)) // slice/slice + non-unique
 	f.Fuzz(func(t *testing.T, data []byte) {
 		runFuzzStream(t, data)
 	})
@@ -156,9 +162,12 @@ func runFuzzStream(t *testing.T, data []byte) {
 	if hdr&2 != 0 {
 		opts.GC = GCCentralized
 	}
-	// Bit 2 selects the slice base layout, so most of the existing corpus
-	// (arbitrary header bytes) exercises the flat layout too.
+	// Bits 2 and 3 select the slice layout per level, so most of the
+	// existing corpus (arbitrary header bytes) exercises both flat
+	// layouts; all four leaf × inner combinations are reachable.
 	opts.FlatBaseNodes = hdr&4 == 0
+	opts.FlatInnerNodes = hdr&8 == 0
+	opts.ScanPipelining = opts.anyFlatNodes()
 	// Tiny nodes and short chains so a 512-key space drives splits,
 	// merges, and consolidations.
 	opts.LeafNodeSize = 16

@@ -25,6 +25,12 @@ type Iterator struct {
 	highKey []byte
 	pos     int
 	valid   bool
+
+	// warm absorbs the bytes read by the scan-pipelining prefetch
+	// (Options.ScanPipelining); storing them into the iterator keeps the
+	// touch loop from being optimized away. Each iterator is owned by one
+	// session/goroutine, so the write is race-free.
+	warm byte
 }
 
 // NewIterator returns an unpositioned iterator; call Seek, SeekFirst, or
@@ -81,8 +87,55 @@ func (it *Iterator) loadNode(key []byte) bool {
 		s.phEnd(obs.PhaseChainWalk, t0, uint64(tr.head.depth))
 		it.keys, it.vals = c.keys, c.vals
 		it.lowKey, it.highKey = tr.head.lowKey, tr.head.highKey
+		if s.t.opts.ScanPipelining {
+			it.prefetchRight(tr.head)
+		}
 		return true
 	}
+}
+
+// prefetchRight pipelines a forward scan: while the caller is about to
+// emit the just-materialized leaf, resolve the right sibling's mapping
+// entry and touch its base keys at cache-line stride so the next
+// advanceNode finds them warm instead of paying a cold miss per probe.
+// It runs inside loadNode's epoch pin, so the sibling's chain cannot be
+// reclaimed mid-touch; a sibling mid-SMO is simply skipped — this is an
+// optimization, never a correctness dependency.
+func (it *Iterator) prefetchRight(head *delta) {
+	sib := head.rightSib
+	if sib == invalidNode {
+		return
+	}
+	shead := it.s.t.load(sib)
+	if shead == nil {
+		return
+	}
+	base := shead.base
+	if base == nil {
+		return
+	}
+	// Cap the touch at a few KB: a leaf arena is typically smaller, and a
+	// scan that stops inside the current leaf shouldn't have dragged an
+	// unbounded sibling through the cache.
+	const stride, budget = 64, 4096
+	var w byte
+	if base.offs != nil {
+		a := base.arena
+		n := min(len(a), budget)
+		for i := 0; i < n; i += stride {
+			w ^= a[i]
+		}
+	} else {
+		// Slice layout: touching every key defeats the purpose, but the
+		// header array itself is the first dependent load of every probe.
+		n := min(len(base.keys), budget/stride)
+		for i := 0; i < n; i++ {
+			if k := base.keys[i]; len(k) > 0 {
+				w ^= k[0]
+			}
+		}
+	}
+	it.warm = w
 }
 
 // loadNodeLeft materializes the logical leaf immediately left of key

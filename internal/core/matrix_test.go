@@ -9,19 +9,24 @@ import (
 // TestOptionsMatrix runs a concurrent smoke workload on every combination
 // of the four switchable paper optimizations (§4.1 pre-allocation, §4.3
 // fast consolidation, §4.4 search shortcuts, §3.1 non-unique keys) plus
-// the flat base-node layout, under both GC schemes — 32 flag combinations
-// × 2 schemes — so no combination can silently rot. Nodes are tiny so the
-// smoke forces splits, merges, and consolidations; the workload mixes the
-// single-op and batch paths.
+// the flat leaf and inner base-node layouts, under both GC schemes — 64
+// flag combinations × 2 schemes — so no combination can silently rot
+// (every FlatBaseNodes × FlatInnerNodes pairing is covered). Nodes are
+// tiny so the smoke forces splits, merges, and consolidations; the
+// workload mixes the single-op and batch paths. Scan pipelining rides
+// along with either flat flag, so the prefetch path runs under
+// contention and -race here too.
 func TestOptionsMatrix(t *testing.T) {
 	gcName := map[GCScheme]string{GCDecentralized: "decentralized", GCCentralized: "centralized"}
-	for mask := 0; mask < 32; mask++ {
+	for mask := 0; mask < 64; mask++ {
 		opts := DefaultOptions()
 		opts.Preallocate = mask&1 != 0
 		opts.FastConsolidate = mask&2 != 0
 		opts.SearchShortcuts = mask&4 != 0
 		opts.NonUnique = mask&8 != 0
 		opts.FlatBaseNodes = mask&16 != 0
+		opts.FlatInnerNodes = mask&32 != 0
+		opts.ScanPipelining = opts.anyFlatNodes()
 		opts.LeafNodeSize = 16
 		opts.InnerNodeSize = 8
 		opts.LeafChainLength = 4
@@ -30,9 +35,9 @@ func TestOptionsMatrix(t *testing.T) {
 		opts.InnerMergeSize = 2
 		for _, gc := range []GCScheme{GCDecentralized, GCCentralized} {
 			opts.GC = gc
-			name := fmt.Sprintf("prealloc=%t,fastcons=%t,shortcuts=%t,nonuniq=%t,flat=%t/%s",
+			name := fmt.Sprintf("prealloc=%t,fastcons=%t,shortcuts=%t,nonuniq=%t,flat=%t,flatinner=%t/%s",
 				opts.Preallocate, opts.FastConsolidate, opts.SearchShortcuts,
-				opts.NonUnique, opts.FlatBaseNodes, gcName[gc])
+				opts.NonUnique, opts.FlatBaseNodes, opts.FlatInnerNodes, gcName[gc])
 			t.Run(name, func(t *testing.T) {
 				optionsMatrixSmoke(t, opts)
 			})

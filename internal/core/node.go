@@ -113,9 +113,19 @@ type delta struct {
 	arena []byte
 	offs  []uint32
 	pfx   uint32
-	nil0  bool
-	vals  []uint64
-	kids  []nodeID
+	// stride is the uniform key length of a flat base whose keys all have
+	// the same length (0 when lengths vary): key i starts at i*stride, so
+	// fixed-width probes skip the offs load entirely (see routeSearch).
+	stride uint32
+	// sfx is the partial-key search plane of a flat inner base: sfx[i] is
+	// the first 8 post-prefix bytes of key i packed big-endian (zero
+	// padded), so a routing probe binary-searches one pointer-free,
+	// line-sequential word array with register compares and touches the
+	// arena only on the rare word tie (see wordSearch).
+	sfx  []uint64
+	nil0 bool
+	vals []uint64
+	kids []nodeID
 	// vers carries the per-record version stamps of a leaf base, parallel
 	// to vals; consolidation preserves each surviving record's stamp so a
 	// record's version only changes when its value may have.
@@ -279,18 +289,23 @@ func searchKeysRange(keys [][]byte, k []byte, lo, hi int) (int, bool) {
 	return pos, pos < len(keys) && bytes.Equal(keys[pos], k)
 }
 
+// innerRoutePos returns the strict-upper-bound routing position within
+// inner base n: the index of the first separator > k, under either
+// layout. The covering child is kids[pos-1] (kids[0] on underflow).
+func innerRoutePos(n *delta, k []byte) int {
+	if n.offs != nil {
+		return n.routeSearch(k, true)
+	}
+	return windowSearch(n.keys, nil, nil, 0, k, 0, len(n.keys), true)
+}
+
 // routeBaseInner returns the child of an inner base node that covers k:
 // the child of the largest separator <= k (the first separator > k, minus
 // one). The caller guarantees k >= node.lowKey, so position 0 always
 // covers underflow. A nil separator at position 0 (-inf) compares below
 // any valid key under both layouts.
 func routeBaseInner(n *delta, k []byte) nodeID {
-	var lo int
-	if n.offs != nil {
-		lo, _ = n.flatSearch(k, 0, len(n.offs)-1, true)
-	} else {
-		lo = windowSearch(n.keys, nil, nil, 0, k, 0, len(n.keys), true)
-	}
+	lo := innerRoutePos(n, k)
 	if lo == 0 {
 		return n.kids[0]
 	}
@@ -303,7 +318,7 @@ func routeBaseInner(n *delta, k []byte) nodeID {
 func routeBaseInnerLeft(n *delta, k []byte) nodeID {
 	var lo int
 	if n.offs != nil {
-		lo, _ = n.flatSearch(k, 0, len(n.offs)-1, false)
+		lo = n.routeSearch(k, false)
 	} else {
 		lo = windowSearch(n.keys, nil, nil, 0, k, 0, len(n.keys), false)
 	}

@@ -65,7 +65,7 @@ type Options struct {
 	// delta visibility with present/deleted value sets, and inserts of an
 	// existing key with a new value succeed.
 	NonUnique bool
-	// FlatBaseNodes stores each base node's keys in one contiguous
+	// FlatBaseNodes stores each leaf base node's keys in one contiguous
 	// immutable []byte arena plus a []uint32 offset array instead of a
 	// [][]byte, with the node's common key prefix skipped during binary
 	// search (see flatnode.go). Collapses per-probe pointer chases and
@@ -74,6 +74,21 @@ type Options struct {
 	// base keys in place; sanitize resolves the conflict in favour of the
 	// Fig. 18 debug mode.
 	FlatBaseNodes bool
+	// FlatInnerNodes applies the same arena layout to inner and root base
+	// nodes: consolidation, split/merge SMO paths, and BulkLoad
+	// materialize separator keys into one arena + offset array plus a
+	// packed suffix-word search plane, and every routing probe runs a
+	// branch-free register-compare search over the plane instead of
+	// chasing a [][]byte pointer per separator (see flatnode.go).
+	// Independent of FlatBaseNodes so the flatnode experiment can
+	// measure the inner-node contribution on its own.
+	FlatInnerNodes bool
+	// ScanPipelining makes the iterator resolve the current leaf's right
+	// sibling through the mapping table and touch its base arena while
+	// the current leaf is being materialized, so a forward scan finds the
+	// next leaf's keys already cache-resident (the BS-tree/FB+-tree
+	// pipelined-leaf pattern). Point operations are unaffected.
+	ScanPipelining bool
 
 	// LatencyHistograms enables per-session log-bucketed latency
 	// histograms for every public operation class, merged on demand by
@@ -140,6 +155,8 @@ func DefaultOptions() Options {
 		SearchShortcuts:  true,
 		NonUnique:        false,
 		FlatBaseNodes:    true,
+		FlatInnerNodes:   true,
+		ScanPipelining:   true,
 		GC:               GCDecentralized,
 		GCInterval:       40 * time.Millisecond,
 		GCThreshold:      1024,
@@ -158,6 +175,8 @@ func BaselineOptions() Options {
 	o.SearchShortcuts = false
 	o.NonUnique = false
 	o.FlatBaseNodes = false
+	o.FlatInnerNodes = false
+	o.ScanPipelining = false
 	o.GC = GCCentralized
 	o.LeafChainLength = 8
 	o.InnerChainLength = 8
@@ -206,8 +225,9 @@ func (o *Options) sanitize() {
 	if o.FlightLatencyThreshold < 0 {
 		o.FlightLatencyThreshold = 0
 	}
-	// In-place leaf updates (Fig. 18 debug mode) mutate base keys
-	// directly, which the immutable flat arena cannot support.
+	// In-place leaf updates (Fig. 18 debug mode) mutate leaf base keys
+	// directly, which the immutable flat arena cannot support. Inner
+	// bases are never mutated in place, so FlatInnerNodes stays valid.
 	if o.InPlaceLeafUpdates {
 		o.FlatBaseNodes = false
 	}

@@ -41,7 +41,7 @@ func (s *Session) split(id nodeID, head *delta, c collected, parentID nodeID, pa
 		return
 	}
 	splitKey := c.keys[mid]
-	if t.opts.FlatBaseNodes {
+	if t.opts.anyFlatNodes() {
 		// c.keys may alias the retired chain's arena; the split key
 		// outlives it as node bounds and separator keys.
 		splitKey = cloneBound(splitKey)
@@ -143,7 +143,7 @@ func (s *Session) splitRoot(head *delta, c collected) {
 		return
 	}
 	splitKey := c.keys[mid]
-	if t.opts.FlatBaseNodes {
+	if t.opts.anyFlatNodes() {
 		splitKey = cloneBound(splitKey)
 	}
 	lid, rid := t.mt.Allocate(), t.mt.Allocate()

@@ -24,6 +24,10 @@ type StructureStats struct {
 	// ArenaBytes is the total footprint of flat key storage: arena bytes
 	// plus 4 bytes per offset-array entry.
 	ArenaBytes int64
+	// InnerFlatBases / InnerArenaBytes are the inner-node share of the
+	// two totals above (FlatInnerNodes); the leaf share is the difference.
+	InnerFlatBases  int
+	InnerArenaBytes int64
 	// KeyBytes is the total key payload across all base nodes (both
 	// layouts), excluding per-key slice headers and offset arrays.
 	KeyBytes int64
@@ -58,8 +62,16 @@ func (t *Tree) StructureStats() StructureStats {
 		n := base.baseLen()
 		if base.offs != nil {
 			st.FlatBases++
-			st.ArenaBytes += int64(len(base.arena)) + 4*int64(len(base.offs))
+			fb := int64(len(base.arena)) + 4*int64(len(base.offs)) + 8*int64(len(base.sfx))
+			st.ArenaBytes += fb
 			st.KeyBytes += int64(len(base.arena))
+			if !base.isLeaf {
+				st.InnerFlatBases++
+				st.InnerArenaBytes += fb
+			}
+			if base.sfx != nil {
+				return 4 // arena, offs, sfx, kids
+			}
 			return 3 // arena, offs, vals-or-kids
 		}
 		for i := 0; i < n; i++ {

@@ -48,6 +48,23 @@ func (s *Session) descend(key []byte, tr *traversal) bool {
 			continue
 		}
 
+		// Fused route for a consolidated inner base — the common state
+		// between SMOs. An interior routing position is itself the range
+		// proof: separators sit inside [lowKey, highKey) with sep[0] ==
+		// lowKey (Validate pins both), so sep[pos-1] <= key < sep[pos]
+		// implies lowKey <= key < highKey and the two boundary-key
+		// compares (each a touch of a separately-allocated key) can be
+		// skipped along with the sibling-chase logic they guard. Boundary
+		// positions prove nothing and fall through to the guarded path,
+		// which re-routes; that re-search is rare (~2/fanout of levels).
+		if head.kind == kInnerBase {
+			if pos := innerRoutePos(head, key); pos > 0 && pos < head.baseLen() {
+				parentID, parentHead = id, head
+				id = head.kids[pos-1]
+				continue
+			}
+		}
+
 		// Range guards. A node whose low key exceeds the search key can
 		// only be reached through a stale route (e.g. a recycled node ID
 		// observed via an old parent snapshot); restart rather than
@@ -92,6 +109,12 @@ const maxTraversalHops = 4096
 // walking its delta chain. It never dereferences the mapping table; all
 // information lives in the chain (Table 1 attributes).
 func (s *Session) routeInner(head *delta, key []byte) (nodeID, bool) {
+	// Fast path: a consolidated inner node is a bare base — the common
+	// case between SMOs with the default inner chain length of 2. Route
+	// straight through the base probe without entering the chain loop.
+	if head.kind == kInnerBase {
+		return routeBaseInner(head, key), true
+	}
 	d := head
 	for {
 		switch d.kind {

@@ -422,16 +422,16 @@ func (t *Tree) Stats() Stats {
 	}
 	t.mu.Unlock()
 	return Stats{
-		Ops:            agg.ops.Load(),
-		Aborts:         agg.aborts.Load(),
-		Consolidations: agg.consolidations.Load(),
-		Splits:         agg.splits.Load(),
-		Merges:         agg.merges.Load(),
-		SlabFull:       agg.slabFull.Load(),
-		PointerChases:  agg.pointerChases.Load(),
-		CASFailures:    agg.casFailures.Load(),
-		LeafSlabUsed:   agg.leafSlabUsed.Load(),
-		LeafSlabCap:    agg.leafSlabCap.Load(),
+		Ops:             agg.ops.Load(),
+		Aborts:          agg.aborts.Load(),
+		Consolidations:  agg.consolidations.Load(),
+		Splits:          agg.splits.Load(),
+		Merges:          agg.merges.Load(),
+		SlabFull:        agg.slabFull.Load(),
+		PointerChases:   agg.pointerChases.Load(),
+		CASFailures:     agg.casFailures.Load(),
+		LeafSlabUsed:    agg.leafSlabUsed.Load(),
+		LeafSlabCap:     agg.leafSlabCap.Load(),
 		InnerSlabUsed:   agg.innerSlabUsed.Load(),
 		InnerSlabCap:    agg.innerSlabCap.Load(),
 		BatchLeafHits:   agg.batchLeafHits.Load(),

@@ -7,7 +7,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/debug"
-	"sync"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -37,6 +37,47 @@ type FlatNodeFile struct {
 	LookupSpeedup     float64 `json:"lookup_speedup"`
 	ReadMostlySpeedup float64 `json:"read_mostly_speedup"`
 	ScanSpeedup       float64 `json:"scan_speedup"`
+	// Inner is the inner-node arm: the same duel design on a deliberately
+	// deep tree, FlatInnerNodes on vs off (both sides leaf-flat).
+	Inner FlatInnerArm `json:"inner"`
+}
+
+// FlatInnerArm reports the inner-node layout arm: small leaf nodes force
+// several inner levels, so every lookup pays multiple routing probes and
+// the inner layout dominates the descent cost.
+type FlatInnerArm struct {
+	// KeyType names the separator population: Path keys (hierarchical,
+	// long shared prefixes within a node) are the regime the prefix-skip
+	// arena layout and its suffix-word search plane target.
+	KeyType string `json:"keytype"`
+	// InnerNodeSize is the arm's inner fanout.
+	InnerNodeSize int `json:"inner_node_size"`
+	// InnerLevels is the number of inner levels of the measured trees
+	// (tree height minus the leaf level); the gate design wants >= 3.
+	InnerLevels int            `json:"inner_levels"`
+	On          FlatInnerPoint `json:"on"`
+	Off         FlatInnerPoint `json:"off"`
+	// LookupSpeedup is the On/Off consolidated-lookup speedup, estimated
+	// as the median of per-segment-pair duration ratios from the
+	// interleaved duel (robust against machine-noise phases and GC-pause
+	// outliers; gated >= FLATNODE_GATE_MIN_INNER_SPEEDUP). ScanRatio is
+	// On/Off YCSB-E throughput (gated not to regress). GCPtrsReduction
+	// is Off/On GC-visible pointers per inner node (gated >=
+	// FLATNODE_GATE_MIN_INNER_GC_REDUCTION).
+	LookupSpeedup   float64 `json:"lookup_speedup"`
+	ScanRatio       float64 `json:"scan_ratio"`
+	GCPtrsReduction float64 `json:"gc_ptrs_reduction"`
+}
+
+// FlatInnerPoint is one measured inner-layout side (FlatInnerNodes on or
+// off; leaf bases are flat on both).
+type FlatInnerPoint struct {
+	LookupMops        float64 `json:"lookup_mops"`
+	LookupAllocsPerOp float64 `json:"lookup_allocs_per_op"`
+	ScanMops          float64 `json:"scan_mops"`
+	GCPtrsPerInner    float64 `json:"gc_ptrs_per_inner"`
+	InnerFlatBases    int     `json:"inner_flat_bases"`
+	InnerArenaBytes   int64   `json:"inner_arena_bytes"`
 }
 
 // FlatNodePoint is one measured layout.
@@ -61,51 +102,20 @@ type FlatNodePoint struct {
 	LeafBytesPerEntry float64 `json:"leaf_bytes_per_entry"`
 }
 
-// runReadMostly drives the read-mostly mix (95% point lookups, 5%
-// updates — YCSB-B) with a *uniform* request distribution (YCSB's
-// requestdistribution=uniform knob). The layout under test changes how
-// base nodes are probed from memory; under Zipfian skew most requests
-// hit a handful of cache-resident hot nodes and the phase degenerates
-// into an L1 benchmark of neither layout. Uniform requests keep the
-// probe stream cold — the same regime the paper's Rand-Int read
-// workloads measure.
-func runReadMostly(idx index.Index, ks *ycsb.KeySet, ops, threads int, seed uint64) time.Duration {
-	perWorker := ops / threads
-	extra := ops % threads
-	var wg sync.WaitGroup
-	start := time.Now()
-	for t := 0; t < threads; t++ {
-		n := perWorker
-		if t < extra {
-			n++
-		}
-		wg.Add(1)
-		go func(worker, n int) {
-			defer wg.Done()
-			s := idx.NewSession()
-			defer s.Release()
-			rng := ycsb.NewRand(phaseSeed(seed, uint64(worker)))
-			var out []uint64
-			for i := 0; i < n; i++ {
-				k := ks.Keys[rng.Intn(len(ks.Keys))]
-				if rng.Intn(100) < 5 {
-					s.Update(k, uint64(i))
-				} else {
-					out = s.Lookup(k, out[:0])
-				}
-			}
-		}(t, n)
-	}
-	wg.Wait()
-	return time.Since(start)
-}
+// The read-mostly phase runs ycsb.ReadMostly (YCSB-B) with
+// ycsb.DistUniform requests (YCSB's requestdistribution=uniform knob)
+// via RunPhaseDist. The layout under test changes how base nodes are
+// probed from memory; under Zipfian skew most requests hit a handful of
+// cache-resident hot nodes and the phase degenerates into an L1
+// benchmark of neither layout. Uniform requests keep the probe stream
+// cold — the same regime the paper's Rand-Int read workloads measure.
 
 // FlatNode is the flat base-node layout gate: on Email keys it measures,
 // under the flat arena layout and the slice layout in one process, (a)
 // single-threaded unique-key Lookup throughput and allocations over a
 // fully consolidated tree — the pure base-probe regime the layout
-// changes — and (b) the read-mostly (YCSB-B, uniform requests — see
-// runReadMostly) and scan (YCSB-E) mixes for context. It writes the
+// changes — and (b) the read-mostly (YCSB-B, uniform requests — see the
+// note above) and scan (YCSB-E) mixes for context. It writes the
 // result to BENCH_flatnode.json
 // (override with FLATNODE_GATE_OUT), and fails the gate when
 //
@@ -167,6 +177,11 @@ func FlatNode(w io.Writer, sc Scale) {
 	ks := ycsb.NewKeySet(ycsb.Email, sc.Keys)
 	build := func(label string, opts core.Options) *side {
 		s := &side{idx: index.NewBwTreeWith(label, opts)}
+		// The load cursor is a one-shot atomic deal-out; rewind it so every
+		// side loads the same population. (Without this, the second build
+		// got ExtraKeys instead and the lookup duel probed one side with
+		// all hits and the other with all misses.)
+		ks.ResetLoad()
 		RunPhase(s.idx, ks, ycsb.InsertOnly, sc.Keys, sc.Threads, phaseSeed(sc.Seed, 0))
 		s.tree = s.idx.(index.BwBacked).Tree()
 		s.tree.ConsolidateAll()
@@ -184,7 +199,7 @@ func FlatNode(w io.Writer, sc Scale) {
 	// both layouts, and a final consolidation restores the pure-base state
 	// the lookup duel below wants.
 	mixes := func(s *side) {
-		dur := runReadMostly(s.idx, ks, sc.Ops, sc.Threads, phaseSeed(sc.Seed, 1))
+		dur := RunPhaseDist(s.idx, ks, ycsb.ReadMostly, ycsb.DistUniform, sc.Ops, sc.Threads, phaseSeed(sc.Seed, 1))
 		s.pt.ReadMops = mops(sc.Ops, dur)
 		dur = RunPhase(s.idx, ks, ycsb.ScanInsert, scanOps, sc.Threads, phaseSeed(sc.Seed, 2))
 		s.pt.ScanMops = mops(scanOps, dur)
@@ -269,6 +284,7 @@ func FlatNode(w io.Writer, sc Scale) {
 	if rep.Slice.ScanMops > 0 {
 		rep.ScanSpeedup = rep.Flat.ScanMops / rep.Slice.ScanMops
 	}
+	rep.Inner = flatInnerArm(sc)
 
 	out := os.Getenv("FLATNODE_GATE_OUT")
 	if out == "" {
@@ -334,6 +350,275 @@ func FlatNode(w io.Writer, sc Scale) {
 		}
 	} else {
 		fmt.Fprintf(w, "flatnode: no baseline at %s; in-process checks only\n", baselinePath)
+	}
+	if failed {
+		gateFailures.Add(1)
+	}
+
+	flatInnerGates(w, &rep)
+}
+
+// flatInnerArm runs the inner-node layout arm: the same interleaved-duel
+// design as the leaf arm, but on a deliberately deep tree (inner fanout
+// shrunk to 8, so Email-scale populations stand 4-5 inner levels tall)
+// and with FlatInnerNodes+ScanPipelining as the on/off axis. Both sides
+// keep FlatBaseNodes on, so the duel isolates the inner layout: every
+// lookup pays InnerLevels routing probes before it ever touches a leaf.
+func flatInnerArm(sc Scale) FlatInnerArm {
+	var arm FlatInnerArm
+	// Fanout 64 makes each inner search a real multi-compare probe (a
+	// slice-layout node at ~45 GC pointers) across 3+ inner levels;
+	// wider nodes concentrate descent time in the search itself — where
+	// the layouts differ: a cold slice probe touches a header line and a
+	// scattered key line, a cold arena probe one contiguous line —
+	// instead of in the per-level fixed costs (mapping-table load, chain
+	// checks) that are identical on both sides. Leaf nodes shrink to 16
+	// so the leaf probe (identical on both sides) stops dominating the
+	// descent. Path keys give the separator sets the long within-node
+	// common prefixes (30-40 of 48 bytes at the bottom inner level) that
+	// hierarchical key spaces produce: the slice side re-compares those
+	// bytes on every probe, the arena side compares them once per node
+	// and binary-searches suffixes.
+	const innerFanout, leafSize = 64, 16
+	arm.InnerNodeSize = innerFanout
+	arm.KeyType = ycsb.Path.String()
+
+	type side struct {
+		idx  index.Index
+		tree *core.Tree
+		sess *core.Session
+		buf  []uint64
+		pt   FlatInnerPoint
+	}
+	ks := ycsb.NewKeySet(ycsb.Path, sc.Keys)
+	build := func(label string, on bool) *side {
+		opts := core.DefaultOptions()
+		opts.FlatBaseNodes = true
+		opts.FlatInnerNodes = on
+		opts.ScanPipelining = on
+		opts.InnerNodeSize = innerFanout
+		opts.LeafNodeSize = leafSize
+		s := &side{idx: index.NewBwTreeWith(label, opts)}
+		ks.ResetLoad() // each side loads the full population (see build above)
+		RunPhase(s.idx, ks, ycsb.InsertOnly, sc.Keys, sc.Threads, phaseSeed(sc.Seed, 3))
+		s.tree = s.idx.(index.BwBacked).Tree()
+		s.tree.ConsolidateAll()
+		s.buf = make([]uint64, 0, 8)
+		return s
+	}
+	off := build("inner-off", false)
+	on := build("inner-on", true)
+	defer off.idx.Close()
+	defer on.idx.Close()
+
+	// Scan-heavy phase (YCSB-E): every scan descends through the inner
+	// levels once, then walks right-sibling leaves — the path scan
+	// pipelining targets. Interleaved in alternating segments, like the
+	// lookup duel below, so clock drift and GC waves hit both sides
+	// equally. Consolidating afterwards restores the pure-base state the
+	// lookup duel wants.
+	scanOps := sc.Ops / 8
+	if scanOps < 1 {
+		scanOps = 1
+	}
+	const scanSegs = 8
+	segScan := scanOps / scanSegs
+	if segScan < 1 {
+		segScan = 1
+	}
+	var offScan, onScan time.Duration
+	for seg := 0; seg < scanSegs; seg++ {
+		offScan += RunPhase(off.idx, ks, ycsb.ScanInsert, segScan, sc.Threads, phaseSeed(sc.Seed, uint64(4+seg)))
+		onScan += RunPhase(on.idx, ks, ycsb.ScanInsert, segScan, sc.Threads, phaseSeed(sc.Seed, uint64(4+seg)))
+	}
+	off.pt.ScanMops = mops(scanSegs*segScan, offScan)
+	on.pt.ScanMops = mops(scanSegs*segScan, onScan)
+	off.tree.ConsolidateAll()
+	on.tree.ConsolidateAll()
+
+	allocs := func(s *side) {
+		s.sess = s.tree.NewSession()
+		const probes = 100_000
+		for i := 0; i < 1024; i++ {
+			s.buf = s.sess.Lookup(ks.Keys[i%len(ks.Keys)], s.buf[:0])
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < probes; i++ {
+			s.buf = s.sess.Lookup(ks.Keys[i%len(ks.Keys)], s.buf[:0])
+		}
+		runtime.ReadMemStats(&m1)
+		s.pt.LookupAllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(probes)
+	}
+	allocs(off)
+	allocs(on)
+
+	// Interleaved lookup duel, same drift-cancelling design as the leaf
+	// arm: alternating short segments over identical key sequences. The
+	// two sides of a segment pair run adjacent in time, so machine-wide
+	// throughput phases (scheduler noise, neighbor load) hit both and
+	// cancel in the pair's ratio; the speedup below is the median of the
+	// per-pair ratios, which also discards segments a GC pause landed in.
+	probes := sc.Ops
+	if probes > 500_000 {
+		probes = 500_000
+	}
+	segOps := probes / 25
+	if segOps < 1 {
+		segOps = 1
+	}
+	segments := probes / segOps
+	var onDur, offDur time.Duration
+	ratios := make([]float64, 0, segments)
+	segment := func(s *side, seg int) time.Duration {
+		t0 := time.Now()
+		for j := 0; j < segOps; j++ {
+			s.buf = s.sess.Lookup(ks.Keys[(seg*segOps+j)%len(ks.Keys)], s.buf[:0])
+		}
+		return time.Since(t0)
+	}
+	for seg := 0; seg < segments; seg++ {
+		// Alternate which side leads the pair, so whatever cache state a
+		// segment inherits from its predecessor is handed to both sides
+		// equally often.
+		var o, n time.Duration
+		if seg%2 == 0 {
+			o = segment(off, seg)
+			n = segment(on, seg)
+		} else {
+			n = segment(on, seg)
+			o = segment(off, seg)
+		}
+		offDur += o
+		onDur += n
+		if n > 0 {
+			ratios = append(ratios, float64(o)/float64(n))
+		}
+	}
+	off.sess.Release()
+	on.sess.Release()
+	off.pt.LookupMops = mops(segments*segOps, offDur)
+	on.pt.LookupMops = mops(segments*segOps, onDur)
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		arm.LookupSpeedup = ratios[len(ratios)/2]
+	}
+
+	foot := func(s *side) {
+		st := s.tree.StructureStats()
+		s.pt.GCPtrsPerInner = st.GCPtrsPerInner
+		s.pt.InnerFlatBases = st.InnerFlatBases
+		s.pt.InnerArenaBytes = st.InnerArenaBytes
+		if lv := st.Height - 1; lv > arm.InnerLevels {
+			arm.InnerLevels = lv
+		}
+	}
+	foot(off)
+	foot(on)
+
+	arm.On, arm.Off = on.pt, off.pt
+	if arm.LookupSpeedup == 0 && arm.Off.LookupMops > 0 {
+		// Degenerate scale (no segment pairs): fall back to the raw ratio.
+		arm.LookupSpeedup = arm.On.LookupMops / arm.Off.LookupMops
+	}
+	if arm.Off.ScanMops > 0 {
+		arm.ScanRatio = arm.On.ScanMops / arm.Off.ScanMops
+	}
+	if arm.On.GCPtrsPerInner > 0 {
+		arm.GCPtrsReduction = arm.Off.GCPtrsPerInner / arm.On.GCPtrsPerInner
+	}
+	return arm
+}
+
+// flatInnerGates renders the inner arm's table and applies its gates:
+//
+//   - On/Off consolidated-lookup speedup >= FLATNODE_GATE_MIN_INNER_SPEEDUP
+//     (default 1.10) on a tree at least 3 inner levels deep,
+//   - scan throughput no worse than leaf-only flat beyond
+//     FLATNODE_GATE_SCAN_TOLERANCE (default 0.15),
+//   - GC-visible pointers per inner node reduced at least
+//     FLATNODE_GATE_MIN_INNER_GC_REDUCTION times (default 5),
+//   - flat-inner Lookup stays allocation-free (FLATNODE_GATE_MAX_ALLOCS),
+//   - and a committed baseline's inner-arm lookup throughput holds within
+//     FLATNODE_GATE_INNER_TOLERANCE (default 0.35 — more relaxed than the
+//     leaf arm: the deep-tree duel runs fewer probes per level and is
+//     noisier on shared machines).
+func flatInnerGates(w io.Writer, rep *FlatNodeFile) {
+	arm := rep.Inner
+	tbl := NewTable(fmt.Sprintf("Flatnode inner arm: fanout %d, %d inner levels",
+		arm.InnerNodeSize, arm.InnerLevels),
+		"lookup Mops/s", "scan Mops/s", "lookup allocs/op",
+		"GC ptrs/inner", "inner flat bases", "inner arena MB")
+	addRow := func(label string, pt FlatInnerPoint) {
+		tbl.AddRow(label, f3(pt.LookupMops), f3(pt.ScanMops),
+			fmt.Sprintf("%.4f", pt.LookupAllocsPerOp),
+			fmt.Sprintf("%.1f", pt.GCPtrsPerInner),
+			fmt.Sprintf("%d", pt.InnerFlatBases),
+			fmt.Sprintf("%.2f", float64(pt.InnerArenaBytes)/(1<<20)))
+	}
+	addRow("inner-off", arm.Off)
+	addRow("inner-on", arm.On)
+	tbl.WriteTo(w)
+
+	failed := false
+	if arm.InnerLevels < 3 {
+		failed = true
+		fmt.Fprintf(w, "flatnode: FAIL inner arm tree only %d inner levels deep (need >= 3)\n",
+			arm.InnerLevels)
+	}
+	minInner := envFloat("FLATNODE_GATE_MIN_INNER_SPEEDUP", 1.10)
+	if arm.LookupSpeedup < minInner {
+		failed = true
+		fmt.Fprintf(w, "flatnode: FAIL inner on/off lookup speedup %.3fx < required %.2fx\n",
+			arm.LookupSpeedup, minInner)
+	} else {
+		fmt.Fprintf(w, "flatnode: inner on/off lookup speedup %.3fx (>= %.2fx) over %d inner levels\n",
+			arm.LookupSpeedup, minInner, arm.InnerLevels)
+	}
+	scanTol := envFloat("FLATNODE_GATE_SCAN_TOLERANCE", 0.15)
+	if arm.ScanRatio < 1-scanTol {
+		failed = true
+		fmt.Fprintf(w, "flatnode: FAIL inner-on scan ratio %.3fx regressed below %.3fx of leaf-only flat\n",
+			arm.ScanRatio, 1-scanTol)
+	} else {
+		fmt.Fprintf(w, "flatnode: inner-on scan ratio %.3fx (floor %.3fx)\n", arm.ScanRatio, 1-scanTol)
+	}
+	minGC := envFloat("FLATNODE_GATE_MIN_INNER_GC_REDUCTION", 5)
+	if arm.GCPtrsReduction < minGC {
+		failed = true
+		fmt.Fprintf(w, "flatnode: FAIL inner GC-pointer reduction %.1fx < required %.1fx (%.1f -> %.1f ptrs/inner)\n",
+			arm.GCPtrsReduction, minGC, arm.Off.GCPtrsPerInner, arm.On.GCPtrsPerInner)
+	} else {
+		fmt.Fprintf(w, "flatnode: inner GC pointers %.1f -> %.1f per node (%.1fx reduction)\n",
+			arm.Off.GCPtrsPerInner, arm.On.GCPtrsPerInner, arm.GCPtrsReduction)
+	}
+	maxAllocs := envFloat("FLATNODE_GATE_MAX_ALLOCS", 0.01)
+	if arm.On.LookupAllocsPerOp > maxAllocs {
+		failed = true
+		fmt.Fprintf(w, "flatnode: FAIL inner-on Lookup allocates %.4f allocs/op (max %.4f)\n",
+			arm.On.LookupAllocsPerOp, maxAllocs)
+	}
+
+	baselinePath := os.Getenv("FLATNODE_GATE_BASELINE")
+	if baselinePath == "" {
+		baselinePath = "bench/BENCH_flatnode.json"
+	}
+	if data, err := os.ReadFile(baselinePath); err == nil {
+		var base FlatNodeFile
+		// Baselines predating the inner arm have a zero Inner block; only
+		// compare once a regenerated baseline carries real numbers.
+		if json.Unmarshal(data, &base) == nil && base.Inner.On.LookupMops > 0 {
+			tol := envFloat("FLATNODE_GATE_INNER_TOLERANCE", 0.35)
+			if floor := base.Inner.On.LookupMops * (1 - tol); arm.On.LookupMops < floor {
+				failed = true
+				fmt.Fprintf(w, "flatnode: FAIL inner-on lookup %.3f Mops/s under baseline floor %.3f (baseline %.3f, tolerance %.0f%%)\n",
+					arm.On.LookupMops, floor, base.Inner.On.LookupMops, tol*100)
+			} else {
+				fmt.Fprintf(w, "flatnode: inner arm within tolerance of baseline (%.3f vs %.3f Mops/s)\n",
+					arm.On.LookupMops, base.Inner.On.LookupMops)
+			}
+		}
 	}
 	if failed {
 		gateFailures.Add(1)

@@ -163,10 +163,22 @@ func RunPhase(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads in
 	return RunPhaseLat(idx, ks, w, ops, threads, seed, nil)
 }
 
+// RunPhaseDist is RunPhase with an explicit request distribution —
+// uniform requests are what memory-layout experiments need, where
+// Zipfian skew would degenerate the probe stream into a hot-node cache
+// benchmark (see ycsb.RequestDist).
+func RunPhaseDist(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, dist ycsb.RequestDist, ops, threads int, seed uint64) time.Duration {
+	return runPhaseDist(idx, ks, w, dist, ops, threads, seed, nil)
+}
+
 // RunPhaseLat is RunPhase with optional latency collection: when lat is
 // non-nil each worker records every operation's duration into a private
 // recorder, merged into lat after the barrier.
 func RunPhaseLat(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads int, seed uint64, lat *obs.LatencySnapshot) time.Duration {
+	return runPhaseDist(idx, ks, w, ycsb.DistZipfian, ops, threads, seed, lat)
+}
+
+func runPhaseDist(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, dist ycsb.RequestDist, ops, threads int, seed uint64, lat *obs.LatencySnapshot) time.Duration {
 	perWorker := ops / threads
 	extra := ops % threads
 	recs := make([]*obs.Recorder, threads)
@@ -182,7 +194,7 @@ func RunPhaseLat(idx index.Index, ks *ycsb.KeySet, w ycsb.Workload, ops, threads
 			defer wg.Done()
 			s := idx.NewSession()
 			defer s.Release()
-			stream := ycsb.NewStream(w, ks, worker, phaseSeed(seed, uint64(worker)))
+			stream := ycsb.NewStreamDist(w, ks, worker, phaseSeed(seed, uint64(worker)), dist)
 			var rec *obs.Recorder
 			if lat != nil {
 				rec = &obs.Recorder{}

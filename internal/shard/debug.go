@@ -115,6 +115,8 @@ func DebugVars(st *Store) obs.Vars {
 					"avg_leaf_node_size": ss.AvgLeafNodeSize,
 					"flat_bases":         ss.FlatBases,
 					"arena_bytes":        ss.ArenaBytes,
+					"inner_flat_bases":   ss.InnerFlatBases,
+					"inner_arena_bytes":  ss.InnerArenaBytes,
 				})
 			}
 			return map[string]any{

@@ -50,6 +50,35 @@ func AllWorkloads() []Workload {
 	return []Workload{InsertOnly, ReadOnly, ReadUpdate, ScanInsert}
 }
 
+// RequestDist selects how a Stream draws request keys from the loaded
+// population (YCSB's requestdistribution knob). The paper's mixes use
+// Zipfian skew; uniform keeps the probe stream cold across the whole
+// tree, which is the regime memory-layout experiments need (under skew
+// most requests hit a handful of cache-resident nodes).
+type RequestDist int
+
+const (
+	// DistZipfian is YCSB's scrambled-Zipfian default (theta 0.99).
+	DistZipfian RequestDist = iota
+	// DistUniform draws request keys uniformly from the population.
+	DistUniform
+)
+
+var distNames = map[RequestDist]string{DistZipfian: "zipfian", DistUniform: "uniform"}
+
+func (d RequestDist) String() string { return distNames[d] }
+
+// ParseDist converts a name like "zipfian" or "uniform".
+func ParseDist(s string) (RequestDist, error) {
+	switch s {
+	case "zipfian", "zipf", "":
+		return DistZipfian, nil
+	case "uniform":
+		return DistUniform, nil
+	}
+	return 0, fmt.Errorf("ycsb: unknown request distribution %q (zipfian, uniform)", s)
+}
+
 // OpKind is a single generated operation's type.
 type OpKind uint8
 
@@ -84,21 +113,37 @@ type Stream struct {
 	w      Workload
 	ks     *KeySet
 	worker int
+	dist   RequestDist
 	zipf   *ScrambledZipfian
 	rng    *Rand
 	seq    uint64
 }
 
 // NewStream returns worker's operation stream for workload w over the
-// population ks.
+// population ks, with the default Zipfian request distribution.
 func NewStream(w Workload, ks *KeySet, worker int, seed uint64) *Stream {
+	return NewStreamDist(w, ks, worker, seed, DistZipfian)
+}
+
+// NewStreamDist is NewStream with an explicit request distribution.
+func NewStreamDist(w Workload, ks *KeySet, worker int, seed uint64, dist RequestDist) *Stream {
 	return &Stream{
 		w:      w,
 		ks:     ks,
 		worker: worker,
+		dist:   dist,
 		zipf:   NewScrambledZipfian(uint64(len(ks.Keys)), seed),
 		rng:    NewRand(seed ^ 0xABCDEF),
 	}
+}
+
+// pick draws one request key index from the population under the
+// stream's distribution.
+func (s *Stream) pick() uint64 {
+	if s.dist == DistUniform {
+		return uint64(s.rng.Intn(len(s.ks.Keys)))
+	}
+	return s.zipf.Next()
 }
 
 // Next produces the next operation.
@@ -114,24 +159,24 @@ func (s *Stream) Next() Op {
 		}
 		return Op{Kind: OpInsert, Key: s.ks.ExtraKey(), Value: s.seqVal()}
 	case ReadOnly:
-		return Op{Kind: OpRead, Key: s.ks.Keys[s.zipf.Next()]}
+		return Op{Kind: OpRead, Key: s.ks.Keys[s.pick()]}
 	case ReadUpdate:
 		if s.rng.Uint64()&1 == 0 {
-			return Op{Kind: OpRead, Key: s.ks.Keys[s.zipf.Next()]}
+			return Op{Kind: OpRead, Key: s.ks.Keys[s.pick()]}
 		}
-		return Op{Kind: OpUpdate, Key: s.ks.Keys[s.zipf.Next()], Value: s.seqVal()}
+		return Op{Kind: OpUpdate, Key: s.ks.Keys[s.pick()], Value: s.seqVal()}
 	case ReadMostly:
 		if s.rng.Intn(100) < 5 {
-			return Op{Kind: OpUpdate, Key: s.ks.Keys[s.zipf.Next()], Value: s.seqVal()}
+			return Op{Kind: OpUpdate, Key: s.ks.Keys[s.pick()], Value: s.seqVal()}
 		}
-		return Op{Kind: OpRead, Key: s.ks.Keys[s.zipf.Next()]}
+		return Op{Kind: OpRead, Key: s.ks.Keys[s.pick()]}
 	default: // ScanInsert
 		if s.rng.Intn(100) < 5 {
 			return Op{Kind: OpInsert, Key: s.ks.ExtraKey(), Value: s.seqVal()}
 		}
 		return Op{
 			Kind:    OpScan,
-			Key:     s.ks.Keys[s.zipf.Next()],
+			Key:     s.ks.Keys[s.pick()],
 			ScanLen: 1 + s.rng.Intn(maxScanLen),
 		}
 	}
